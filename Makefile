@@ -1,0 +1,29 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: test test-short race bench figures tables examples vet
+
+test:        ## full test suite (includes ~20s of real-clock tests)
+	go test ./...
+
+test-short:  ## skip real-time tests
+	go test -short ./...
+
+race:        ## race detector over the protocol packages
+	go test -race -short ./internal/...
+
+bench:       ## one benchmark per paper figure/table + micro benches
+	go test -bench=. -benchmem ./...
+
+figures:     ## regenerate every evaluation figure as TSV
+	go run ./cmd/vodbench -fig all
+
+tables:      ## regenerate every evaluation table
+	go run ./cmd/vodbench -table all
+
+examples:    ## run all simulated examples
+	for e in quickstart failover loadbalance vcr discovery hacounter; do \
+		echo "== $$e =="; go run ./examples/$$e; done
+
+vet:
+	go vet ./...
+	gofmt -l .

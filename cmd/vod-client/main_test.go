@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	// A client without any servers must fail fast (config validation),
+	// not hang waiting for a reply.
+	if err := run([]string{"-servers", "", "-listen", "127.0.0.1:0"}); err == nil {
+		t.Fatal("empty server list accepted")
+	}
+}
+
+func TestApplyVCRParsing(t *testing.T) {
+	// applyVCR command parsing — the client is nil-safe here because every
+	// command path that reaches the client requires a well-formed command
+	// first; feed only malformed ones.
+	for _, cmd := range []string{"seek", "quality", "warp 9"} {
+		if err := applyVCR(nil, cmd); err == nil {
+			t.Errorf("command %q accepted", cmd)
+		}
+	}
+	if err := applyVCR(nil, ""); err != nil {
+		t.Errorf("blank line should be ignored, got %v", err)
+	}
+}

@@ -1,0 +1,125 @@
+// Command vod-server runs one fault-tolerant VoD server over real UDP.
+//
+// Start a replicated service on two terminals:
+//
+//	vod-server -listen 127.0.0.1:7001 -peers 127.0.0.1:7001,127.0.0.1:7002
+//	vod-server -listen 127.0.0.1:7002 -peers 127.0.0.1:7001,127.0.0.1:7002
+//
+// then watch a movie with vod-client. Servers may be started and stopped
+// at any time; clients migrate transparently. Every server generates the
+// same synthetic movies from the shared seed, standing in for the paper's
+// separate replication mechanism for video material.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/mpeg"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/transport"
+)
+
+type udpNetwork struct{}
+
+func (udpNetwork) NewEndpoint(addr transport.Addr) (transport.Endpoint, error) {
+	return transport.ListenUDP(string(addr), addr)
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vod-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vod-server", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7001", "UDP address to serve on (also the server's ID)")
+	peers := fs.String("peers", "", "comma-separated list of all server addresses (including this one)")
+	movies := fs.String("movies", "casablanca:90s", "comma-separated movie specs, id:duration")
+	movieDir := fs.String("moviedir", "", "directory of .vodm movie files (overrides -movies; see store.SaveTo)")
+	seed := fs.Int64("seed", 1, "movie generation seed (must match on all servers)")
+	statsEvery := fs.Duration("stats", 10*time.Second, "stats print period (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var catalog *store.Catalog
+	if *movieDir != "" {
+		var err error
+		catalog, err = store.LoadDirectory(*movieDir)
+		if err != nil {
+			return err
+		}
+		for _, id := range catalog.List() {
+			m, _ := catalog.Get(id)
+			fmt.Println("serving", m)
+		}
+	} else {
+		catalog = store.NewCatalog()
+		for _, spec := range strings.Split(*movies, ",") {
+			id, durStr, ok := strings.Cut(strings.TrimSpace(spec), ":")
+			if !ok {
+				return fmt.Errorf("bad movie spec %q, want id:duration", spec)
+			}
+			dur, err := time.ParseDuration(durStr)
+			if err != nil {
+				return fmt.Errorf("bad movie duration in %q: %w", spec, err)
+			}
+			m := mpeg.Generate(id, mpeg.StreamConfig{Duration: dur, Seed: *seed})
+			catalog.Add(m)
+			fmt.Println("serving", m)
+		}
+	}
+
+	peerList := []string{*listen}
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
+
+	s, err := server.New(server.Config{
+		ID:      *listen,
+		Clock:   clock.Real{},
+		Network: udpNetwork{},
+		Catalog: catalog,
+		Peers:   peerList,
+	})
+	if err != nil {
+		return err
+	}
+	if err := s.Start(); err != nil {
+		return err
+	}
+	defer s.Stop()
+	fmt.Printf("server %s up; peers: %v\n", *listen, peerList)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *statsEvery > 0 {
+		ticker = time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\nshutting down")
+			return nil
+		case <-tick:
+			st := s.Stats()
+			fmt.Printf("sessions=%v frames-sent=%d takeovers=%d releases=%d emergencies=%d\n",
+				s.ActiveSessions(), st.FramesSent, st.Takeovers, st.Releases, st.Emergencies)
+		}
+	}
+}

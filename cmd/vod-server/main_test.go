@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/mpeg"
+	"repro/internal/store"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-movies", "no-duration"}); err == nil {
+		t.Fatal("bad movie spec accepted")
+	}
+	if err := run([]string{"-movies", "m:notaduration"}); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+	if err := run([]string{"-moviedir", filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Fatal("missing movie directory accepted")
+	}
+}
+
+func TestMovieDirRoundTrip(t *testing.T) {
+	// The -moviedir path loads what store.SaveTo wrote.
+	dir := t.TempDir()
+	cat := store.NewCatalog()
+	cat.Add(mpeg.Generate("saved", mpeg.StreamConfig{Duration: time.Second, Seed: 1}))
+	if err := cat.SaveTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := store.LoadDirectory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Has("saved") {
+		t.Fatal("movie lost in the directory round trip")
+	}
+	// Corrupt the file: the server must refuse to start on it.
+	if err := os.WriteFile(filepath.Join(dir, "saved"+store.MovieFileExt), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-moviedir", dir}); err == nil {
+		t.Fatal("corrupt movie dir accepted")
+	}
+}

@@ -1,0 +1,98 @@
+// Command vodbench regenerates every figure and table of the paper's
+// evaluation (§6) from the deterministic simulation harness.
+//
+// Usage:
+//
+//	vodbench                  # everything: all figures and tables
+//	vodbench -fig 4a          # one figure as TSV (seconds <TAB> value)
+//	vodbench -fig all         # all figures
+//	vodbench -table takeover  # one table
+//	vodbench -table all       # all tables
+//	vodbench -seed 7          # change the simulation seed
+//
+// Figures: 4a skipped frames (LAN) · 4b late frames (LAN) · 4c software
+// buffer occupancy (LAN) · 4d hardware buffer occupancy (LAN) · 5a skipped
+// frames (WAN) · 5b overflow discards (WAN).
+//
+// Tables: flowctl (Figure 2 policy) · emergency (§4.1) · sync (§5.2
+// overhead) · takeover · faults (vs Tiger, §7) · buffersweep ·
+// emergencysweep · syncsweep · discard (ablations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vodbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vodbench", flag.ContinueOnError)
+	fig := fs.String("fig", "", "figure to regenerate (4a 4b 4c 4d 5a 5b, or all)")
+	table := fs.String("table", "", "table to regenerate (see package doc, or all)")
+	list := fs.Bool("list", false, "list available figures and tables, then exit")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	out := os.Stdout
+	if *list {
+		fmt.Fprintln(out, "figures:", sim.FigureIDs())
+		fmt.Fprintln(out, "tables: ", sim.TableIDs())
+		return nil
+	}
+	all := *fig == "" && *table == ""
+
+	writeFig := func(s *metrics.Series, ann []sim.Annotation) error {
+		for _, a := range ann {
+			fmt.Fprintf(out, "# event %.1fs: %s\n", a.At.Seconds(), a.Label)
+		}
+		return s.WriteTSV(out)
+	}
+
+	if *fig == "all" || all {
+		figs, anns := sim.Figures(*seed)
+		for _, id := range sim.FigureIDs() {
+			fmt.Fprintf(out, "== Figure %s ==\n", id)
+			if err := writeFig(figs[id], anns[id]); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+	} else if *fig != "" {
+		s, ann, err := sim.Figure(*fig, *seed)
+		if err != nil {
+			return err
+		}
+		return writeFig(s, ann)
+	}
+
+	if *table == "all" || all {
+		for _, id := range sim.TableIDs() {
+			t, err := sim.TableByID(id, *seed)
+			if err != nil {
+				return err
+			}
+			if err := t.Write(out); err != nil {
+				return err
+			}
+		}
+	} else if *table != "" {
+		t, err := sim.TableByID(*table, *seed)
+		if err != nil {
+			return err
+		}
+		return t.Write(out)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	for _, fig := range []string{"4a", "4b", "4c", "4d", "5a", "5b"} {
+		if err := run([]string{"-fig", fig}); err != nil {
+			t.Fatalf("vodbench -fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunSingleTable(t *testing.T) {
+	// The cheap tables; the sweeps are exercised by the root benchmarks.
+	for _, table := range []string{"flowctl", "takeover", "sync"} {
+		if err := run([]string{"-table", table}); err != nil {
+			t.Fatalf("vodbench -table %s: %v", table, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	if err := run([]string{"-fig", "9z"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if err := run([]string{"-table", "nope"}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunSeedChangesOutput(t *testing.T) {
+	// Just verify alternate seeds execute cleanly end to end.
+	if err := run([]string{"-fig", "4a", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigureTSVFormat(t *testing.T) {
+	// Each figure must emit parseable "# comment" and "seconds<TAB>value"
+	// lines — the contract plotting scripts rely on.
+	s, ann, err := sim.Figure("4c", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ann) != 2 {
+		t.Fatalf("LAN figure annotations = %v, want crash + load balance", ann)
+	}
+	var sb strings.Builder
+	if err := s.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("only %d samples in a 90s figure", len(lines))
+	}
+	for _, line := range lines[1:] {
+		parts := strings.Split(line, "\t")
+		if len(parts) != 2 {
+			t.Fatalf("malformed TSV row %q", line)
+		}
+		if _, err := strconv.ParseFloat(parts[0], 64); err != nil {
+			t.Fatalf("bad time in %q", line)
+		}
+		if _, err := strconv.ParseFloat(parts[1], 64); err != nil {
+			t.Fatalf("bad value in %q", line)
+		}
+	}
+}

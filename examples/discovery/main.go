@@ -1,0 +1,71 @@
+// Discovery: clients find "the abstract VoD service" with no configuration
+// beyond a directory address, via the CONGRESS-style group-address
+// resolution service (the paper's references [3, 4]). Servers register
+// under the server-group name with a TTL and refresh; clients resolve the
+// name at startup. A server that dies simply expires from the directory.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/congress"
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+func main() {
+	clk := clock.NewVirtual(time.Now())
+	network := netsim.New(clk, 17, netsim.LAN())
+
+	directory, err := congress.NewDirectory(clk, network, "directory")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer directory.Close()
+
+	movie := core.GenerateMovie("casablanca", 60*time.Second, 1)
+	deployment, err := core.Deploy(core.DeployOptions{
+		Clock:     clk,
+		Network:   network,
+		Servers:   []string{"server-1", "server-2"},
+		Movies:    []*core.Movie{movie},
+		Directory: "directory",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer deployment.Stop()
+
+	clk.Advance(time.Second)
+	fmt.Println("directory knows:", directory.Members("vod.servers"))
+
+	// The client is configured with the directory only — it has never
+	// heard of server-1 or server-2.
+	viewer, err := core.NewClient(core.ClientConfig{
+		ID:        "viewer-1",
+		Clock:     clk,
+		Network:   network,
+		Directory: "directory",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer viewer.Close()
+	if err := viewer.Watch("casablanca"); err != nil {
+		log.Fatal(err)
+	}
+	clk.Advance(10 * time.Second)
+	fmt.Printf("after 10s: state=%v displayed=%d served-by=%s\n",
+		viewer.State(), viewer.Counters().Displayed, deployment.ServingServer("viewer-1"))
+
+	// Kill a server: its registration expires from the directory within
+	// one TTL, so future clients never see it.
+	deployment.StopServer("server-1")
+	clk.Advance(5 * time.Second)
+	fmt.Println("after killing server-1, directory knows:", directory.Members("vod.servers"))
+	fmt.Printf("viewer still fine: displayed=%d served-by=%s\n",
+		viewer.Counters().Displayed, deployment.ServingServer("viewer-1"))
+}

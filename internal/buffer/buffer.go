@@ -1,0 +1,273 @@
+// Package buffer implements the VoD client's two-level frame buffering
+// exactly as §3 and §4.2 of the paper describe it:
+//
+//   - a software buffer (37 frames in the paper's prototype) that absorbs
+//     network irregularity and re-orders frames that arrive out of order;
+//   - a hardware MPEG-decoder buffer (240 KB ≈ 1.2 s) modeled as a
+//     byte-bounded FIFO drained at the display rate.
+//
+// Received frames enter the software buffer and are streamed into the
+// hardware decoder in index order as decoder space frees up. Frames that
+// arrive after the decoder has consumed frames following them are "late"
+// and discarded (this includes duplicates transmitted by two servers
+// during migration). On software-buffer overflow a buffered frame is
+// discarded to make room, preferring an incremental (P/B) frame over an I
+// frame (§3).
+package buffer
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// FrameMeta identifies a frame moving through the pipeline. Payload bytes
+// are not retained — only sizes matter for buffer occupancy.
+type FrameMeta struct {
+	Index uint32
+	Class wire.FrameClass
+	Size  int
+}
+
+// Config sizes the two buffers. The defaults (via DefaultConfig) are the
+// paper's prototype values.
+type Config struct {
+	// SoftwareCapacity is the software buffer size in frames.
+	SoftwareCapacity int
+	// HardwareCapacityBytes is the decoder buffer size in bytes.
+	HardwareCapacityBytes int
+	// NaiveDiscard disables the I-frame-preserving overflow policy and
+	// evicts the highest-index frame regardless of class. Exists only for
+	// the ablation that quantifies the policy's value (§3).
+	NaiveDiscard bool
+}
+
+// DefaultConfig returns the paper's prototype buffer sizes: 37 software
+// frames plus a hardware decoder buffer holding ≈1.2 s of the 1.4 Mbps /
+// 30 fps stream (≈37 frames ≈ 216 KB) — together about 2.4 seconds of
+// video (§4.2, §6).
+func DefaultConfig() Config {
+	return Config{
+		SoftwareCapacity:      37,
+		HardwareCapacityBytes: 216_000,
+	}
+}
+
+// Counters accumulate the quantities the paper's evaluation plots.
+type Counters struct {
+	// Received counts every frame handed to Insert.
+	Received uint64
+	// Displayed counts frames consumed by the decoder at display ticks.
+	Displayed uint64
+	// Late counts frames that arrived after the decoder consumed frames
+	// following them — including duplicates during migration (Figure 4b).
+	Late uint64
+	// OverflowDropped counts frames discarded on software-buffer overflow
+	// (Figure 5b). Unless such a frame is retransmitted and arrives again
+	// in time, it also shows up in GapSkipped when its display turn comes.
+	OverflowDropped uint64
+	// OverflowDroppedI counts the I frames among OverflowDropped; the
+	// discard policy keeps this at zero whenever avoidable (§6.1.1).
+	OverflowDroppedI uint64
+	// GapSkipped counts frames never streamed to the decoder — because
+	// they were lost on the video channel or discarded on overflow and
+	// absent when their turn came.
+	GapSkipped uint64
+	// Stalls counts display ticks that found the decoder buffer empty —
+	// visible jitter when sustained.
+	Stalls uint64
+	// MaxStallRun is the longest consecutive stall streak, in display
+	// ticks — the paper's smoothness criterion: an irregularity is
+	// noticeable to a human observer when video halts for a sustained
+	// stretch ("usually during no more than a second" when buffers are
+	// undersized, §4.2).
+	MaxStallRun uint64
+}
+
+// Skipped returns the paper's "skipped frames" metric: frames not
+// displayed to the user (Figures 4a, 5a). GapSkipped already covers both
+// causes — network loss and overflow discards — so it is the metric.
+func (c Counters) Skipped() uint64 { return c.GapSkipped }
+
+// Occupancy is a snapshot of buffer fill levels.
+type Occupancy struct {
+	SoftwareFrames int
+	HardwareFrames int
+	HardwareBytes  int
+	// CombinedFrames is the flow-control view: total frames buffered
+	// ahead of the display point.
+	CombinedFrames int
+}
+
+// Pipeline is the client buffering pipeline. Safe for concurrent use.
+type Pipeline struct {
+	mu  sync.Mutex
+	cfg Config
+
+	sw     []FrameMeta // sorted ascending by Index
+	hw     []FrameMeta // FIFO in display order
+	hwSize int         // bytes in hw
+	next   uint32      // lowest frame index still acceptable
+
+	stallRun uint64 // current consecutive-stall streak
+	c        Counters
+}
+
+// New returns a pipeline expecting the stream to start at frame 0.
+func New(cfg Config) *Pipeline {
+	if cfg.SoftwareCapacity <= 0 || cfg.HardwareCapacityBytes <= 0 {
+		panic(fmt.Sprintf("buffer: invalid config %+v", cfg))
+	}
+	return &Pipeline{cfg: cfg}
+}
+
+// InsertResult reports what happened to an arriving frame.
+type InsertResult int
+
+// The Insert outcomes.
+const (
+	// Buffered: the frame was accepted into the software buffer (possibly
+	// evicting another frame, see Counters.OverflowDropped).
+	Buffered InsertResult = iota + 1
+	// LateDiscarded: the frame arrived after its display turn passed, or
+	// is a duplicate; it was dropped and counted late.
+	LateDiscarded
+)
+
+// Insert files an arriving frame.
+func (p *Pipeline) Insert(f FrameMeta) InsertResult {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.c.Received++
+
+	if f.Index < p.next {
+		p.c.Late++
+		return LateDiscarded
+	}
+	pos := sort.Search(len(p.sw), func(i int) bool { return p.sw[i].Index >= f.Index })
+	if pos < len(p.sw) && p.sw[pos].Index == f.Index {
+		p.c.Late++ // duplicate of a frame still buffered
+		return LateDiscarded
+	}
+
+	if len(p.sw) >= p.cfg.SoftwareCapacity {
+		p.evictLocked()
+		// Eviction may have removed a frame below the insertion point.
+		pos = sort.Search(len(p.sw), func(i int) bool { return p.sw[i].Index >= f.Index })
+	}
+
+	p.sw = append(p.sw, FrameMeta{})
+	copy(p.sw[pos+1:], p.sw[pos:])
+	p.sw[pos] = f
+
+	p.streamLocked()
+	return Buffered
+}
+
+// evictLocked discards one buffered frame to make room: the highest-index
+// incremental frame if any exists, otherwise the highest-index frame.
+func (p *Pipeline) evictLocked() {
+	victim := len(p.sw) - 1
+	if !p.cfg.NaiveDiscard {
+		for i := len(p.sw) - 1; i >= 0; i-- {
+			if p.sw[i].Class != wire.FrameI {
+				victim = i
+				break
+			}
+		}
+	}
+	if p.sw[victim].Class == wire.FrameI {
+		p.c.OverflowDroppedI++
+	}
+	p.c.OverflowDropped++
+	copy(p.sw[victim:], p.sw[victim+1:])
+	p.sw = p.sw[:len(p.sw)-1]
+}
+
+// streamLocked moves frames from the software buffer into the decoder in
+// index order while decoder space allows. A missing index is skipped (and
+// counted) — if it shows up afterwards it will be late, exactly the
+// paper's semantics.
+func (p *Pipeline) streamLocked() {
+	for len(p.sw) > 0 {
+		f := p.sw[0]
+		// A frame larger than the whole decoder buffer streams alone into
+		// an empty decoder rather than wedging the pipeline.
+		if p.hwSize+f.Size > p.cfg.HardwareCapacityBytes && !(len(p.hw) == 0 && f.Size > p.cfg.HardwareCapacityBytes) {
+			return
+		}
+		if f.Index > p.next {
+			p.c.GapSkipped += uint64(f.Index - p.next)
+		}
+		p.next = f.Index + 1
+		p.sw = p.sw[1:]
+		p.hw = append(p.hw, f)
+		p.hwSize += f.Size
+	}
+}
+
+// Tick consumes one frame from the decoder at a display instant. It
+// returns the displayed frame, or ok=false on a stall (empty decoder).
+func (p *Pipeline) Tick() (f FrameMeta, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.hw) == 0 {
+		// Only count a stall once playback has actually started; an empty
+		// decoder before the first frame is just startup.
+		if p.c.Displayed > 0 {
+			p.c.Stalls++
+			p.stallRun++
+			if p.stallRun > p.c.MaxStallRun {
+				p.c.MaxStallRun = p.stallRun
+			}
+		}
+		p.streamLocked()
+		return FrameMeta{}, false
+	}
+	f = p.hw[0]
+	p.hw = p.hw[1:]
+	p.hwSize -= f.Size
+	p.c.Displayed++
+	p.stallRun = 0
+	p.streamLocked()
+	return f, true
+}
+
+// Reset flushes both buffers and repositions the stream at start — used on
+// random access (VCR seek). Counters are preserved; a seek is not an error.
+func (p *Pipeline) Reset(start uint32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sw = nil
+	p.hw = nil
+	p.hwSize = 0
+	p.next = start
+}
+
+// Occupancy returns a snapshot of the fill levels.
+func (p *Pipeline) Occupancy() Occupancy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Occupancy{
+		SoftwareFrames: len(p.sw),
+		HardwareFrames: len(p.hw),
+		HardwareBytes:  p.hwSize,
+		CombinedFrames: len(p.sw) + len(p.hw),
+	}
+}
+
+// Counters returns a snapshot of the accumulated counters.
+func (p *Pipeline) Counters() Counters {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.c
+}
+
+// NextIndex returns the lowest frame index the pipeline still accepts.
+func (p *Pipeline) NextIndex() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.next
+}

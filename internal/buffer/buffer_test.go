@@ -1,0 +1,344 @@
+package buffer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wire"
+)
+
+func smallCfg() Config {
+	return Config{SoftwareCapacity: 8, HardwareCapacityBytes: 4000}
+}
+
+func frame(i uint32, class wire.FrameClass, size int) FrameMeta {
+	return FrameMeta{Index: i, Class: class, Size: size}
+}
+
+func TestInOrderFlow(t *testing.T) {
+	p := New(smallCfg())
+	for i := uint32(0); i < 4; i++ {
+		if r := p.Insert(frame(i, wire.FrameP, 500)); r != Buffered {
+			t.Fatalf("Insert(%d) = %v", i, r)
+		}
+	}
+	occ := p.Occupancy()
+	// 4 × 500 = 2000 bytes fit in the 4000-byte decoder; software empty.
+	if occ.HardwareFrames != 4 || occ.SoftwareFrames != 0 || occ.HardwareBytes != 2000 {
+		t.Fatalf("occupancy = %+v", occ)
+	}
+	for i := uint32(0); i < 4; i++ {
+		f, ok := p.Tick()
+		if !ok || f.Index != i {
+			t.Fatalf("Tick %d = %+v, %v", i, f, ok)
+		}
+	}
+	if _, ok := p.Tick(); ok {
+		t.Fatal("Tick on empty pipeline returned a frame")
+	}
+	c := p.Counters()
+	if c.Displayed != 4 || c.Received != 4 || c.Skipped() != 0 || c.Late != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestHardwareBackpressureFillsSoftware(t *testing.T) {
+	p := New(smallCfg())
+	// 8 frames × 1000 bytes: only 4 fit in hardware, rest queue in software.
+	for i := uint32(0); i < 8; i++ {
+		p.Insert(frame(i, wire.FrameP, 1000))
+	}
+	occ := p.Occupancy()
+	if occ.HardwareFrames != 4 || occ.SoftwareFrames != 4 {
+		t.Fatalf("occupancy = %+v, want hw=4 sw=4", occ)
+	}
+	if occ.CombinedFrames != 8 {
+		t.Fatalf("combined = %d, want 8", occ.CombinedFrames)
+	}
+	// Consuming one hardware frame streams one in from software.
+	p.Tick()
+	occ = p.Occupancy()
+	if occ.HardwareFrames != 4 || occ.SoftwareFrames != 3 {
+		t.Fatalf("after tick: %+v", occ)
+	}
+}
+
+func TestReordering(t *testing.T) {
+	p := New(smallCfg())
+	// Fill hardware so arrivals queue in software and can reorder there.
+	for i := uint32(0); i < 4; i++ {
+		p.Insert(frame(i, wire.FrameP, 1000))
+	}
+	for _, i := range []uint32{6, 4, 7, 5} {
+		p.Insert(frame(i, wire.FrameP, 1000))
+	}
+	var got []uint32
+	for {
+		f, ok := p.Tick()
+		if !ok {
+			break
+		}
+		got = append(got, f.Index)
+	}
+	want := []uint32{0, 1, 2, 3, 4, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("displayed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("displayed %v, want %v", got, want)
+		}
+	}
+	if c := p.Counters(); c.Late != 0 || c.Skipped() != 0 {
+		t.Fatalf("reordering cost: %+v", c)
+	}
+}
+
+func TestLateFrame(t *testing.T) {
+	p := New(smallCfg())
+	p.Insert(frame(0, wire.FrameI, 500))
+	p.Insert(frame(1, wire.FrameP, 500))
+	p.Tick() // displays 0; next acceptable is 2
+	if r := p.Insert(frame(0, wire.FrameI, 500)); r != LateDiscarded {
+		t.Fatalf("re-insert displayed frame = %v, want LateDiscarded", r)
+	}
+	if c := p.Counters(); c.Late != 1 {
+		t.Fatalf("Late = %d, want 1", c.Late)
+	}
+}
+
+func TestDuplicateInBuffer(t *testing.T) {
+	p := New(smallCfg())
+	// Frame 5 parks in software (gap before it, hw space available but
+	// streaming jumps gaps eagerly)... insert two copies back to back.
+	p.Insert(frame(0, wire.FrameI, 3500)) // nearly fills hw
+	p.Insert(frame(1, wire.FrameP, 1000)) // must wait in software
+	if r := p.Insert(frame(1, wire.FrameP, 1000)); r != LateDiscarded {
+		t.Fatalf("duplicate buffered frame = %v, want LateDiscarded", r)
+	}
+	if c := p.Counters(); c.Late != 1 {
+		t.Fatalf("Late = %d, want 1", c.Late)
+	}
+}
+
+func TestGapSkipping(t *testing.T) {
+	p := New(smallCfg())
+	p.Insert(frame(0, wire.FrameI, 500))
+	p.Insert(frame(3, wire.FrameP, 500)) // frames 1, 2 lost
+	f, ok := p.Tick()
+	if !ok || f.Index != 0 {
+		t.Fatalf("Tick = %+v", f)
+	}
+	f, ok = p.Tick()
+	if !ok || f.Index != 3 {
+		t.Fatalf("Tick after gap = %+v, want frame 3", f)
+	}
+	if c := p.Counters(); c.GapSkipped != 2 {
+		t.Fatalf("GapSkipped = %d, want 2", c.GapSkipped)
+	}
+	// The lost frames arriving now are late.
+	if r := p.Insert(frame(1, wire.FrameB, 500)); r != LateDiscarded {
+		t.Fatalf("post-gap arrival = %v, want LateDiscarded", r)
+	}
+}
+
+func TestOverflowPrefersIncrementalVictim(t *testing.T) {
+	cfg := Config{SoftwareCapacity: 4, HardwareCapacityBytes: 1000}
+	p := New(cfg)
+	p.Insert(frame(0, wire.FrameI, 1000)) // fills hardware exactly
+	// Software now takes the rest: I, B, P, B.
+	p.Insert(frame(1, wire.FrameI, 900))
+	p.Insert(frame(2, wire.FrameB, 900))
+	p.Insert(frame(3, wire.FrameP, 900))
+	p.Insert(frame(4, wire.FrameB, 900))
+	// Buffer full; next insert must evict the highest-index incremental
+	// frame (4, a B frame) — never the I frame.
+	p.Insert(frame(5, wire.FrameI, 900))
+	c := p.Counters()
+	if c.OverflowDropped != 1 {
+		t.Fatalf("OverflowDropped = %d, want 1", c.OverflowDropped)
+	}
+	if c.OverflowDroppedI != 0 {
+		t.Fatal("discard policy dropped an I frame while incrementals were available")
+	}
+	var displayed []uint32
+	for {
+		f, ok := p.Tick()
+		if !ok {
+			break
+		}
+		displayed = append(displayed, f.Index)
+	}
+	want := []uint32{0, 1, 2, 3, 5}
+	if len(displayed) != len(want) {
+		t.Fatalf("displayed %v, want %v", displayed, want)
+	}
+	for i := range want {
+		if displayed[i] != want[i] {
+			t.Fatalf("displayed %v, want %v", displayed, want)
+		}
+	}
+}
+
+func TestOverflowAllIFramesDropsI(t *testing.T) {
+	cfg := Config{SoftwareCapacity: 2, HardwareCapacityBytes: 1000}
+	p := New(cfg)
+	p.Insert(frame(0, wire.FrameI, 1000))
+	p.Insert(frame(1, wire.FrameI, 900))
+	p.Insert(frame(2, wire.FrameI, 900))
+	p.Insert(frame(3, wire.FrameI, 900)) // overflow: all candidates are I
+	c := p.Counters()
+	if c.OverflowDropped != 1 || c.OverflowDroppedI != 1 {
+		t.Fatalf("counters = %+v, want one I frame dropped", c)
+	}
+}
+
+func TestStallCountsOnlyAfterStart(t *testing.T) {
+	p := New(smallCfg())
+	p.Tick() // before any frame: startup, not a stall
+	p.Tick()
+	if c := p.Counters(); c.Stalls != 0 {
+		t.Fatalf("startup ticks counted as stalls: %+v", c)
+	}
+	p.Insert(frame(0, wire.FrameI, 500))
+	p.Tick() // displays 0
+	p.Tick() // genuine stall
+	if c := p.Counters(); c.Stalls != 1 {
+		t.Fatalf("Stalls = %d, want 1", c.Stalls)
+	}
+}
+
+func TestMaxStallRun(t *testing.T) {
+	p := New(smallCfg())
+	p.Insert(frame(0, wire.FrameI, 500))
+	p.Tick() // displays 0
+	for i := 0; i < 3; i++ {
+		p.Tick() // stall streak of 3
+	}
+	p.Insert(frame(1, wire.FrameP, 500))
+	p.Tick() // displays 1, streak broken
+	p.Tick() // single stall
+	c := p.Counters()
+	if c.Stalls != 4 {
+		t.Fatalf("Stalls = %d, want 4", c.Stalls)
+	}
+	if c.MaxStallRun != 3 {
+		t.Fatalf("MaxStallRun = %d, want 3", c.MaxStallRun)
+	}
+}
+
+func TestResetForSeek(t *testing.T) {
+	p := New(smallCfg())
+	for i := uint32(0); i < 6; i++ {
+		p.Insert(frame(i, wire.FrameP, 500))
+	}
+	p.Tick()
+	p.Reset(100)
+	occ := p.Occupancy()
+	if occ.CombinedFrames != 0 {
+		t.Fatalf("occupancy after Reset = %+v", occ)
+	}
+	// Backward-in-stream frames are acceptable again from the new origin.
+	if r := p.Insert(frame(100, wire.FrameI, 500)); r != Buffered {
+		t.Fatalf("Insert(100) after Reset = %v", r)
+	}
+	if r := p.Insert(frame(99, wire.FrameP, 500)); r != LateDiscarded {
+		t.Fatalf("Insert(99) after Reset(100) = %v, want LateDiscarded", r)
+	}
+}
+
+func TestOversizedFrameDoesNotWedge(t *testing.T) {
+	cfg := Config{SoftwareCapacity: 4, HardwareCapacityBytes: 1000}
+	p := New(cfg)
+	p.Insert(frame(0, wire.FrameI, 5000)) // larger than the whole decoder
+	f, ok := p.Tick()
+	if !ok || f.Index != 0 {
+		t.Fatalf("oversized frame never displayed: %+v %v", f, ok)
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted a zero config")
+		}
+	}()
+	New(Config{})
+}
+
+// TestDisplayOrderProperty: regardless of arrival order, displayed frame
+// indices are strictly increasing — the invariant that makes playback
+// watchable.
+func TestDisplayOrderProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(DefaultConfig())
+		perm := rng.Perm(300)
+		last := -1
+		tick := func() bool {
+			f, ok := p.Tick()
+			if !ok {
+				return true
+			}
+			if int(f.Index) <= last {
+				return false
+			}
+			last = int(f.Index)
+			return true
+		}
+		for i, idx := range perm {
+			class := wire.FrameB
+			if idx%12 == 0 {
+				class = wire.FrameI
+			}
+			p.Insert(frame(uint32(idx), class, 2000+rng.Intn(4000)))
+			if i%3 == 0 && !tick() {
+				return false
+			}
+		}
+		for i := 0; i < 400; i++ {
+			if !tick() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConservationProperty: every received frame is accounted for exactly
+// once across displayed / late / overflow-dropped / still-buffered.
+func TestConservationProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(Config{SoftwareCapacity: 10, HardwareCapacityBytes: 8000})
+		n := uint64(0)
+		for i := 0; i < 500; i++ {
+			idx := uint32(rng.Intn(200))
+			p.Insert(frame(idx, wire.FrameB, 500+rng.Intn(1500)))
+			n++
+			if rng.Intn(3) == 0 {
+				p.Tick()
+			}
+		}
+		c := p.Counters()
+		occ := p.Occupancy()
+		accounted := c.Displayed + c.Late + c.OverflowDropped + uint64(occ.CombinedFrames)
+		return c.Received == n && accounted == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsertTick(b *testing.B) {
+	p := New(DefaultConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Insert(frame(uint32(i), wire.FrameP, 5800))
+		p.Tick()
+	}
+}

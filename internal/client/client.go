@@ -1,0 +1,560 @@
+// Package client implements the paper's VoD client: it contacts the
+// abstract server group to open a movie (never a particular server), joins
+// its per-session group for control traffic, buffers arriving frames
+// through the two-level pipeline of package buffer, displays at the movie's
+// frame rate, and drives the Figure 2 flow-control policy. The client is
+// deliberately oblivious to which server is transmitting — server crashes
+// and migrations are invisible except as brief buffer-occupancy dips.
+package client
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/clock"
+	"repro/internal/congress"
+	"repro/internal/flowctl"
+	"repro/internal/gcs"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// State is the client's session lifecycle state.
+type State int
+
+// The client states.
+const (
+	StateIdle State = iota + 1
+	StateOpening
+	StateWatching
+	StateFinished // the whole movie has been displayed
+	StateStopped
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateOpening:
+		return "opening"
+	case StateWatching:
+		return "watching"
+	case StateFinished:
+		return "finished"
+	case StateStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Config configures a Client.
+type Config struct {
+	// ID is the client's name and transport address.
+	ID string
+	// Clock and Network supply the runtime environment.
+	Clock   clock.Clock
+	Network transport.Network
+	// Servers is the bootstrap list of VoD server addresses. The client
+	// anycasts its Open to them in turn until one responds. May be empty
+	// when Directory is set.
+	Servers []string
+	// Directory, when set, is a CONGRESS directory address: at Watch time
+	// the client resolves the server-group name there instead of (or in
+	// addition to) the static Servers list — the client stays oblivious
+	// to server identities, as §5.1 requires.
+	Directory string
+	// Buffer sizes the two-level pipeline (paper defaults if zero).
+	Buffer buffer.Config
+	// Flow is the flow-control parameter set (paper defaults if zero).
+	Flow flowctl.Params
+	// OpenTimeout is how long to wait for an OpenReply before trying the
+	// next server (default 1s).
+	OpenTimeout time.Duration
+	// GCS optionally overrides group-communication timing.
+	GCS gcs.Config
+}
+
+func (c *Config) fillDefaults() error {
+	if c.ID == "" || c.Clock == nil || c.Network == nil {
+		return fmt.Errorf("client: ID, Clock and Network are required")
+	}
+	if len(c.Servers) == 0 && c.Directory == "" {
+		return fmt.Errorf("client %s: no servers and no directory configured", c.ID)
+	}
+	if c.Buffer.SoftwareCapacity == 0 {
+		c.Buffer = buffer.DefaultConfig()
+	}
+	if c.Flow.CombinedCapacity == 0 {
+		c.Flow = flowctl.DefaultParams()
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = time.Second
+	}
+	return c.Flow.Validate()
+}
+
+// Stats counts the client's control-plane activity.
+type Stats struct {
+	OpensSent       uint64 // Open anycasts (including retries)
+	FlowSent        uint64 // flow-control requests multicast
+	EmergenciesSent uint64 // the emergency requests among them
+	VCRSent         uint64 // VCR commands multicast
+}
+
+// Client is one VoD client instance.
+type Client struct {
+	cfg  Config
+	mux  *transport.Mux
+	proc *gcs.Process
+	vid  transport.Endpoint
+
+	resolver *congress.Resolver
+
+	mu          sync.Mutex
+	state       State
+	movie       string
+	servers     []string // current server list (static + resolved)
+	totalFrames uint32
+	fps         int
+	pipeline    *buffer.Pipeline
+	policy      *flowctl.Policy
+	session     *gcs.Member
+	displayTask *clock.Periodic
+	openTimer   clock.Timer
+	serverIdx   int
+	paused      bool
+	stats       Stats
+
+	// Inter-arrival jitter estimate (RFC 3550-style EWMA over the
+	// deviation of consecutive-frame arrival intervals from the nominal
+	// frame period) — quantifies §2's "bounded jitter" concern.
+	lastArrival time.Time
+	lastIndex   uint32
+	jitter      time.Duration
+}
+
+// New creates a client bound to its own endpoint. Call Watch to start.
+func New(cfg Config) (*Client, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	ep, err := cfg.Network.NewEndpoint(transport.Addr(cfg.ID))
+	if err != nil {
+		return nil, fmt.Errorf("client %s: %w", cfg.ID, err)
+	}
+	mux := transport.NewMux(ep)
+	gcfg := cfg.GCS
+	gcfg.Clock = cfg.Clock
+	gcfg.Endpoint = mux.Channel(transport.ChannelGCS)
+
+	c := &Client{
+		cfg:     cfg,
+		mux:     mux,
+		proc:    gcs.NewProcess(gcfg),
+		vid:     mux.Channel(transport.ChannelVideo),
+		state:   StateIdle,
+		servers: append([]string(nil), cfg.Servers...),
+	}
+	if cfg.Directory != "" {
+		c.resolver = congress.NewResolver(cfg.Clock,
+			mux.Channel(transport.ChannelDirectory), transport.Addr(cfg.Directory))
+	}
+	c.vid.SetHandler(c.onVideo)
+	c.proc.SetDirectHandler(func(from gcs.ProcessID, payload []byte) {
+		data := append([]byte(nil), payload...)
+		cfg.Clock.AfterFunc(0, func() { c.onDirect(from, data) })
+	})
+	return c, nil
+}
+
+// ID returns the client identifier.
+func (c *Client) ID() string { return c.cfg.ID }
+
+// Watch requests the movie from the VoD service. The client joins its
+// session group first — the serving server joins the same group to form
+// the two-way connection — then anycasts the Open to the server group.
+func (c *Client) Watch(movieID string) error {
+	c.mu.Lock()
+	if c.state != StateIdle {
+		c.mu.Unlock()
+		return fmt.Errorf("client %s: cannot watch in state %v", c.cfg.ID, c.state)
+	}
+	c.state = StateOpening
+	c.movie = movieID
+	c.pipeline = buffer.New(c.cfg.Buffer)
+	c.policy = flowctl.NewPolicy(c.cfg.Flow)
+	c.mu.Unlock()
+
+	session, err := c.proc.Join(SessionGroupName(c.cfg.ID), gcs.Handlers{})
+	if err != nil {
+		return fmt.Errorf("client %s: joining session group: %w", c.cfg.ID, err)
+	}
+	c.mu.Lock()
+	c.session = session
+	c.mu.Unlock()
+
+	if c.resolver != nil {
+		c.resolveThenOpen()
+	} else {
+		c.sendOpen()
+	}
+	return nil
+}
+
+// resolveThenOpen asks the directory for the current server-group members
+// before opening. Failures fall back to the static list (if any) or retry.
+func (c *Client) resolveThenOpen() {
+	c.resolver.Resolve("vod.servers", 5, func(addrs []transport.Addr) {
+		c.mu.Lock()
+		if c.state != StateOpening {
+			c.mu.Unlock()
+			return
+		}
+		if len(addrs) > 0 {
+			resolved := make([]string, 0, len(addrs))
+			for _, a := range addrs {
+				resolved = append(resolved, string(a))
+			}
+			// Resolved servers first — they are known live — then any
+			// static fallbacks not already listed.
+			for _, s := range c.cfg.Servers {
+				if !containsString(resolved, s) {
+					resolved = append(resolved, s)
+				}
+			}
+			c.servers = resolved
+			c.serverIdx = 0
+			c.mu.Unlock()
+			c.sendOpen()
+			return
+		}
+		if len(c.cfg.Servers) > 0 {
+			c.servers = append([]string(nil), c.cfg.Servers...)
+			c.mu.Unlock()
+			c.sendOpen()
+			return
+		}
+		c.mu.Unlock()
+		// Nothing to try yet: the directory may be empty because no
+		// server registered; ask again shortly.
+		c.cfg.Clock.AfterFunc(time.Second, c.resolveThenOpen)
+	})
+}
+
+func containsString(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// SessionGroupName returns the session group for a client ID. It mirrors
+// server.SessionGroup without importing the server package.
+func SessionGroupName(clientID string) string { return "vod.session." + clientID }
+
+// sendOpen anycasts the Open to the current bootstrap server and arms the
+// retry timer.
+func (c *Client) sendOpen() {
+	c.mu.Lock()
+	if c.state != StateOpening {
+		c.mu.Unlock()
+		return
+	}
+	if len(c.servers) == 0 {
+		c.mu.Unlock()
+		c.resolveThenOpen()
+		return
+	}
+	target := transport.Addr(c.servers[c.serverIdx%len(c.servers)])
+	c.serverIdx++
+	c.stats.OpensSent++
+	open := &wire.Open{
+		ClientID:   c.cfg.ID,
+		ClientAddr: c.cfg.ID,
+		Movie:      c.movie,
+	}
+	if c.openTimer != nil {
+		c.openTimer.Stop()
+	}
+	c.openTimer = c.cfg.Clock.AfterFunc(c.cfg.OpenTimeout, c.sendOpen)
+	c.mu.Unlock()
+
+	_ = c.proc.Anycast(target, "vod.servers", wire.Encode(open))
+}
+
+// onDirect handles point-to-point replies — the OpenReply.
+func (c *Client) onDirect(_ gcs.ProcessID, payload []byte) {
+	msg, err := wire.Decode(payload)
+	if err != nil {
+		return
+	}
+	reply, ok := msg.(*wire.OpenReply)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StateOpening || reply.Movie != c.movie {
+		return
+	}
+	if !reply.OK {
+		// This server cannot serve the movie; the retry timer will try
+		// the next one. Shorten the wait.
+		if c.openTimer != nil {
+			c.openTimer.Stop()
+		}
+		c.openTimer = c.cfg.Clock.AfterFunc(10*time.Millisecond, c.sendOpen)
+		return
+	}
+	c.state = StateWatching
+	c.totalFrames = reply.TotalFrames
+	c.fps = int(reply.FPS)
+	if c.openTimer != nil {
+		c.openTimer.Stop()
+		c.openTimer = nil
+	}
+	period := time.Second / time.Duration(c.fps)
+	c.displayTask = clock.Every(c.cfg.Clock, period, c.displayTick)
+}
+
+// onVideo handles an arriving video frame: buffer it and run the flow
+// control policy on the new occupancy.
+func (c *Client) onVideo(_ transport.Addr, payload []byte) {
+	msg, err := wire.Decode(payload)
+	if err != nil {
+		return
+	}
+	frame, ok := msg.(*wire.Frame)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	if c.state != StateWatching || frame.Movie != c.movie {
+		c.mu.Unlock()
+		return
+	}
+	now := c.cfg.Clock.Now()
+	if c.fps > 0 && frame.Index == c.lastIndex+1 && !c.lastArrival.IsZero() {
+		dev := now.Sub(c.lastArrival) - time.Second/time.Duration(c.fps)
+		if dev < 0 {
+			dev = -dev
+		}
+		c.jitter += (dev - c.jitter) / 16
+	}
+	c.lastArrival, c.lastIndex = now, frame.Index
+
+	c.pipeline.Insert(buffer.FrameMeta{
+		Index: frame.Index,
+		Class: frame.Class,
+		Size:  len(frame.Payload),
+	})
+	occ := c.pipeline.Occupancy()
+	kind, due := c.policy.OnFrame(occ.CombinedFrames, occ.SoftwareFrames)
+	var pkt []byte
+	session := c.session
+	if due && session != nil {
+		c.stats.FlowSent++
+		if kind == wire.FlowEmergencyMajor || kind == wire.FlowEmergencyMinor {
+			c.stats.EmergenciesSent++
+		}
+		pkt = wire.Encode(&wire.FlowControl{
+			ClientID:  c.cfg.ID,
+			Request:   kind,
+			Occupancy: uint16(occ.CombinedFrames),
+		})
+	}
+	c.mu.Unlock()
+
+	if pkt != nil {
+		_ = session.Multicast(pkt)
+	}
+}
+
+// displayTick consumes one frame at the display rate. When the stream has
+// reached the movie's end and the buffers are dry, the session is finished
+// — empty ticks after that are not stalls.
+func (c *Client) displayTick() {
+	c.mu.Lock()
+	if c.state != StateWatching || c.paused {
+		c.mu.Unlock()
+		return
+	}
+	if c.totalFrames > 0 && c.pipeline.NextIndex() >= c.totalFrames &&
+		c.pipeline.Occupancy().CombinedFrames == 0 {
+		c.state = StateFinished
+		if c.displayTask != nil {
+			c.displayTask.Stop()
+		}
+		c.mu.Unlock()
+		return
+	}
+	c.pipeline.Tick()
+	c.mu.Unlock()
+}
+
+// sendVCR multicasts a VCR command into the session group.
+func (c *Client) sendVCR(op wire.VCROp, arg uint32) error {
+	c.mu.Lock()
+	session := c.session
+	if c.state != StateWatching || session == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("client %s: no active session", c.cfg.ID)
+	}
+	c.stats.VCRSent++
+	c.mu.Unlock()
+	return session.Multicast(wire.Encode(&wire.VCR{ClientID: c.cfg.ID, Op: op, Arg: arg}))
+}
+
+// Pause freezes playback and tells the server to stop transmitting.
+func (c *Client) Pause() error {
+	if err := c.sendVCR(wire.VCRPause, 0); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.paused = true
+	c.mu.Unlock()
+	return nil
+}
+
+// Resume restarts playback after a Pause.
+func (c *Client) Resume() error {
+	if err := c.sendVCR(wire.VCRResume, 0); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.paused = false
+	c.mu.Unlock()
+	return nil
+}
+
+// Seek jumps to the given frame ("arbitrary random access", §3). The
+// server snaps the target forward to the next I frame; the local pipeline
+// flushes, which triggers the emergency refill exactly as §4.1 describes.
+func (c *Client) Seek(frame uint32) error {
+	if err := c.sendVCR(wire.VCRSeek, frame); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.pipeline.Reset(frame)
+	// A seek is a new irregularity period: the next critical-threshold
+	// crossing must request a fresh emergency refill even if the trigger
+	// was spent on a recent dip.
+	c.policy.Rearm()
+	c.mu.Unlock()
+	return nil
+}
+
+// SetQuality caps the delivered frame rate (§4.3) — the server keeps all I
+// frames and thins the rest, and the local display drops to the same rate
+// (a constrained client repeats frames instead of stalling). Pass the
+// movie's full rate (or higher) to restore full quality.
+//
+// Note on counters: frames the server withholds appear as GapSkipped in
+// the buffer counters — they are index gaps by design. Compare against the
+// server's FramesThinned stat when evaluating quality sessions.
+func (c *Client) SetQuality(fps uint16) error {
+	if err := c.sendVCR(wire.VCRQuality, uint32(fps)); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.displayTask != nil && c.fps > 0 {
+		rate := int(fps)
+		if rate <= 0 || rate > c.fps {
+			rate = c.fps
+		}
+		c.displayTask.SetPeriod(time.Second / time.Duration(rate))
+	}
+	return nil
+}
+
+// StopWatching ends the session gracefully.
+func (c *Client) StopWatching() error {
+	err := c.sendVCR(wire.VCRStop, 0)
+	c.mu.Lock()
+	c.state = StateStopped
+	if c.displayTask != nil {
+		c.displayTask.Stop()
+	}
+	session := c.session
+	c.session = nil
+	c.mu.Unlock()
+	if session != nil {
+		_ = session.Leave()
+	}
+	return err
+}
+
+// Close releases the client entirely.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.state == StateWatching {
+		c.state = StateStopped
+	}
+	if c.displayTask != nil {
+		c.displayTask.Stop()
+	}
+	if c.openTimer != nil {
+		c.openTimer.Stop()
+	}
+	c.mu.Unlock()
+	c.proc.Close()
+	_ = c.mux.Close()
+}
+
+// State returns the client's lifecycle state.
+func (c *Client) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Counters returns the buffering counters (zero before Watch).
+func (c *Client) Counters() buffer.Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pipeline == nil {
+		return buffer.Counters{}
+	}
+	return c.pipeline.Counters()
+}
+
+// Occupancy returns the buffer occupancy snapshot (zero before Watch).
+func (c *Client) Occupancy() buffer.Occupancy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pipeline == nil {
+		return buffer.Occupancy{}
+	}
+	return c.pipeline.Occupancy()
+}
+
+// Stats returns the control-plane counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// TotalFrames returns the movie length learned from the OpenReply.
+func (c *Client) TotalFrames() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totalFrames
+}
+
+// Jitter returns the smoothed inter-arrival jitter estimate: how far
+// consecutive frames' arrival spacing deviates from the nominal frame
+// period. Near zero on an idle LAN; tens of milliseconds on a multi-hop
+// best-effort WAN (§2).
+func (c *Client) Jitter() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jitter
+}

@@ -1,0 +1,336 @@
+package client_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/mpeg"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+type rig struct {
+	clk   *clock.Virtual
+	net   *netsim.Network
+	movie *mpeg.Movie
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	clk := clock.NewVirtual(epoch)
+	return &rig{
+		clk: clk,
+		net: netsim.New(clk, 9, netsim.LAN()),
+		movie: mpeg.Generate("feature", mpeg.StreamConfig{
+			Duration: 20 * time.Second,
+			Seed:     2,
+		}),
+	}
+}
+
+func (r *rig) server(t *testing.T, id string, peers ...string) *server.Server {
+	t.Helper()
+	cat := store.NewCatalog()
+	cat.Add(r.movie)
+	s, err := server.New(server.Config{
+		ID: id, Clock: r.clk, Network: r.net, Catalog: cat, Peers: peers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func (r *rig) client(t *testing.T, id string, servers ...string) *client.Client {
+	t.Helper()
+	c, err := client.New(client.Config{
+		ID: id, Clock: r.clk, Network: r.net, Servers: servers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	r := newRig(t)
+	cases := []client.Config{
+		{Clock: r.clk, Network: r.net, Servers: []string{"s"}}, // no ID
+		{ID: "c", Network: r.net, Servers: []string{"s"}},      // no clock
+		{ID: "c", Clock: r.clk, Servers: []string{"s"}},        // no network
+		{ID: "c", Clock: r.clk, Network: r.net},                // no servers
+	}
+	for i, cfg := range cases {
+		if _, err := client.New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestStateMachine(t *testing.T) {
+	r := newRig(t)
+	r.server(t, "s1", "s1")
+	c := r.client(t, "c1", "s1")
+
+	if got := c.State(); got != client.StateIdle {
+		t.Fatalf("initial state = %v", got)
+	}
+	if err := c.Watch("feature"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Watch("feature"); err == nil {
+		t.Fatal("second Watch accepted")
+	}
+	r.clk.Advance(2 * time.Second)
+	if got := c.State(); got != client.StateWatching {
+		t.Fatalf("state after open = %v", got)
+	}
+	// Counters and occupancy are live.
+	if c.Counters().Displayed == 0 {
+		t.Fatal("nothing displayed after 2s")
+	}
+	if c.TotalFrames() != uint32(r.movie.TotalFrames()) {
+		t.Fatalf("TotalFrames = %d", c.TotalFrames())
+	}
+}
+
+func TestFinishesAtMovieEnd(t *testing.T) {
+	r := newRig(t)
+	r.server(t, "s1", "s1")
+	c := r.client(t, "c1", "s1")
+	if err := c.Watch("feature"); err != nil {
+		t.Fatal(err)
+	}
+	// Movie is 20s; allow slack for startup and rate dynamics.
+	r.clk.Advance(30 * time.Second)
+	if got := c.State(); got != client.StateFinished {
+		t.Fatalf("state at movie end = %v, want finished", got)
+	}
+	cnt := c.Counters()
+	if cnt.Displayed+cnt.Skipped() < uint64(r.movie.TotalFrames()) {
+		t.Fatalf("displayed %d + skipped %d < %d total",
+			cnt.Displayed, cnt.Skipped(), r.movie.TotalFrames())
+	}
+	// No stall spam after the end.
+	stalls := cnt.Stalls
+	r.clk.Advance(5 * time.Second)
+	if got := c.Counters().Stalls; got != stalls {
+		t.Fatalf("stalls kept counting after the movie ended: %d → %d", stalls, got)
+	}
+}
+
+func TestOpenRetriesAcrossServers(t *testing.T) {
+	r := newRig(t)
+	// "ghost" was never started; the client must fall through to s1.
+	r.server(t, "s1", "s1")
+	c := r.client(t, "c1", "ghost", "s1")
+	if err := c.Watch("feature"); err != nil {
+		t.Fatal(err)
+	}
+	r.clk.Advance(5 * time.Second)
+	if got := c.State(); got != client.StateWatching {
+		t.Fatalf("state = %v after retrying past a dead server", got)
+	}
+	if got := c.Stats().OpensSent; got < 2 {
+		t.Fatalf("OpensSent = %d, want ≥ 2 (one retry)", got)
+	}
+}
+
+func TestUnknownMovie(t *testing.T) {
+	r := newRig(t)
+	r.server(t, "s1", "s1")
+	c := r.client(t, "c1", "s1")
+	if err := c.Watch("no-such-movie"); err != nil {
+		t.Fatal(err)
+	}
+	r.clk.Advance(3 * time.Second)
+	// The server keeps answering "not found"; the client keeps trying
+	// (there might be another server later) but never reaches watching.
+	if got := c.State(); got != client.StateOpening {
+		t.Fatalf("state = %v, want still opening", got)
+	}
+}
+
+func TestVCRBeforeOpenFails(t *testing.T) {
+	r := newRig(t)
+	r.server(t, "s1", "s1")
+	c := r.client(t, "c1", "s1")
+	if err := c.Pause(); err == nil {
+		t.Fatal("Pause before Watch succeeded")
+	}
+	if err := c.Seek(100); err == nil {
+		t.Fatal("Seek before Watch succeeded")
+	}
+}
+
+func TestFlowControlEmission(t *testing.T) {
+	r := newRig(t)
+	r.server(t, "s1", "s1")
+	c := r.client(t, "c1", "s1")
+	if err := c.Watch("feature"); err != nil {
+		t.Fatal(err)
+	}
+	r.clk.Advance(10 * time.Second)
+	st := c.Stats()
+	if st.FlowSent == 0 {
+		t.Fatal("no flow-control requests sent in 10s of playback")
+	}
+	if st.EmergenciesSent == 0 {
+		t.Fatal("startup (empty buffers) sent no emergency request")
+	}
+}
+
+func TestPauseFreezesCounters(t *testing.T) {
+	r := newRig(t)
+	r.server(t, "s1", "s1")
+	c := r.client(t, "c1", "s1")
+	if err := c.Watch("feature"); err != nil {
+		t.Fatal(err)
+	}
+	r.clk.Advance(5 * time.Second)
+	if err := c.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	r.clk.Advance(time.Second) // drain in-flight frames
+	displayed := c.Counters().Displayed
+	r.clk.Advance(10 * time.Second)
+	if got := c.Counters().Displayed; got != displayed {
+		t.Fatalf("displayed while paused: %d → %d", displayed, got)
+	}
+	if err := c.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	r.clk.Advance(3 * time.Second)
+	if got := c.Counters().Displayed; got <= displayed {
+		t.Fatal("nothing displayed after resume")
+	}
+}
+
+func TestStopWatching(t *testing.T) {
+	r := newRig(t)
+	srv := r.server(t, "s1", "s1")
+	c := r.client(t, "c1", "s1")
+	if err := c.Watch("feature"); err != nil {
+		t.Fatal(err)
+	}
+	r.clk.Advance(5 * time.Second)
+	if err := c.StopWatching(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.State(); got != client.StateStopped {
+		t.Fatalf("state = %v", got)
+	}
+	r.clk.Advance(2 * time.Second)
+	if got := len(srv.ActiveSessions()); got != 0 {
+		t.Fatalf("server still has %d sessions after stop", got)
+	}
+	if err := c.Pause(); err == nil {
+		t.Fatal("VCR op after StopWatching succeeded")
+	}
+}
+
+func TestCloseDuringWatch(t *testing.T) {
+	r := newRig(t)
+	r.server(t, "s1", "s1")
+	c := r.client(t, "c1", "s1")
+	if err := c.Watch("feature"); err != nil {
+		t.Fatal(err)
+	}
+	r.clk.Advance(3 * time.Second)
+	c.Close()
+	// The simulation must keep running cleanly; the server eventually
+	// notices the silent client via its session-group failure detector.
+	r.clk.Advance(5 * time.Second)
+}
+
+func TestSeekFlushesAndRefills(t *testing.T) {
+	r := newRig(t)
+	r.server(t, "s1", "s1")
+	c := r.client(t, "c1", "s1")
+	if err := c.Watch("feature"); err != nil {
+		t.Fatal(err)
+	}
+	r.clk.Advance(8 * time.Second)
+	emergenciesBefore := c.Stats().EmergenciesSent
+	if err := c.Seek(450); err != nil {
+		t.Fatal(err)
+	}
+	// The flush is immediate.
+	if occ := c.Occupancy().CombinedFrames; occ != 0 {
+		t.Fatalf("occupancy right after seek = %d, want 0", occ)
+	}
+	r.clk.Advance(4 * time.Second)
+	if got := c.Stats().EmergenciesSent; got <= emergenciesBefore {
+		t.Fatal("seek did not trigger an emergency request")
+	}
+	if occ := c.Occupancy().CombinedFrames; occ < 20 {
+		t.Fatalf("buffers did not refill after seek: %d frames", occ)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[client.State]string{
+		client.StateIdle:     "idle",
+		client.StateOpening:  "opening",
+		client.StateWatching: "watching",
+		client.StateFinished: "finished",
+		client.StateStopped:  "stopped",
+		client.State(99):     "State(99)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+// TestJitterEstimator: a jittery WAN path must show materially more
+// inter-arrival jitter than a quiet LAN.
+func TestJitterEstimator(t *testing.T) {
+	measure := func(prof netsim.Profile) time.Duration {
+		clk := clock.NewVirtual(epoch)
+		net := netsim.New(clk, 3, prof)
+		movie := mpeg.Generate("feature", mpeg.StreamConfig{Duration: 20 * time.Second, Seed: 2})
+		cat := store.NewCatalog()
+		cat.Add(movie)
+		s, err := server.New(server.Config{
+			ID: "s1", Clock: clk, Network: net, Catalog: cat, Peers: []string{"s1"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Stop()
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		c, err := client.New(client.Config{ID: "c1", Clock: clk, Network: net, Servers: []string{"s1"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Watch("feature"); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(15 * time.Second)
+		return c.Jitter()
+	}
+
+	lan := measure(netsim.LAN())
+	wan := measure(netsim.WAN())
+	t.Logf("jitter: LAN=%v WAN=%v", lan, wan)
+	if lan > 2*time.Millisecond {
+		t.Errorf("LAN jitter = %v, want ≈ 0", lan)
+	}
+	if wan < 2*lan+time.Millisecond {
+		t.Errorf("WAN jitter (%v) not clearly above LAN (%v)", wan, lan)
+	}
+}

@@ -1,0 +1,69 @@
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Periodic invokes a function at a fixed period on any Clock. It is the
+// building block for heartbeats, state-sync broadcasts and frame pacing.
+// Unlike time.Ticker it is implemented with AfterFunc re-arming, so it works
+// identically on Real and Virtual clocks.
+type Periodic struct {
+	mu      sync.Mutex
+	c       Clock
+	period  time.Duration
+	fn      func()
+	timer   Timer
+	stopped bool
+}
+
+// Every schedules fn to run every period on c, starting one period from
+// now. It panics if period is not positive; a zero-period heartbeat would
+// wedge a Virtual clock in an infinite event cascade.
+func Every(c Clock, period time.Duration, fn func()) *Periodic {
+	if period <= 0 {
+		panic("clock: Every requires a positive period")
+	}
+	p := &Periodic{c: c, period: period, fn: fn}
+	p.mu.Lock()
+	p.timer = c.AfterFunc(period, p.tick)
+	p.mu.Unlock()
+	return p
+}
+
+func (p *Periodic) tick() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.timer = p.c.AfterFunc(p.period, p.tick)
+	p.mu.Unlock()
+	p.fn()
+}
+
+// SetPeriod changes the interval used when the task next re-arms. It does
+// not reschedule the currently pending tick.
+func (p *Periodic) SetPeriod(d time.Duration) {
+	if d <= 0 {
+		panic("clock: SetPeriod requires a positive period")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.period = d
+}
+
+// Stop cancels the task. No ticks run after Stop returns on a Virtual
+// clock; on a Real clock a tick already in flight may still complete.
+func (p *Periodic) Stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+}

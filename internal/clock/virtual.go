@@ -1,0 +1,232 @@
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Virtual is a deterministic discrete-event Clock. Events fire in deadline
+// order; ties break in scheduling order, so a run is exactly reproducible.
+//
+// Virtual is safe for concurrent use, but events themselves execute
+// sequentially on whichever goroutine drives the clock (Step, Advance or
+// Drain), never concurrently with each other. Event callbacks may schedule
+// further events and stop timers.
+type Virtual struct {
+	mu   sync.Mutex
+	now  time.Time
+	pq   eventQueue
+	seq  uint64
+	runs uint64 // total events executed, for diagnostics
+}
+
+var _ Clock = (*Virtual)(nil)
+
+// NewVirtual returns a Virtual clock whose current time is start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (c *Virtual) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AfterFunc implements Clock.
+func (c *Virtual) AfterFunc(d time.Duration, f func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ev := &event{
+		when: c.now.Add(d),
+		seq:  c.seq,
+		fn:   f,
+		c:    c,
+	}
+	c.seq++
+	heap.Push(&c.pq, ev)
+	return ev
+}
+
+// Len returns the number of pending events.
+func (c *Virtual) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pq.Len()
+}
+
+// Executed returns the total number of events run so far.
+func (c *Virtual) Executed() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runs
+}
+
+// Step executes the earliest pending event, advancing the clock to its
+// deadline. It reports whether an event was executed.
+func (c *Virtual) Step() bool {
+	c.mu.Lock()
+	ev := c.pop()
+	if ev == nil {
+		c.mu.Unlock()
+		return false
+	}
+	if ev.when.After(c.now) {
+		c.now = ev.when
+	}
+	c.runs++
+	c.mu.Unlock()
+	ev.fn()
+	return true
+}
+
+// Advance runs every event with a deadline at or before now+d, in order,
+// then sets the clock to exactly now+d. It returns the number of events
+// executed. Events scheduled by callbacks are included if they fall within
+// the window.
+func (c *Virtual) Advance(d time.Duration) int {
+	c.mu.Lock()
+	deadline := c.now.Add(d)
+	c.mu.Unlock()
+	return c.AdvanceTo(deadline)
+}
+
+// AdvanceTo runs every event with a deadline at or before t, then sets the
+// clock to t (if t is later than the current time). It returns the number
+// of events executed.
+func (c *Virtual) AdvanceTo(t time.Time) int {
+	n := 0
+	for {
+		c.mu.Lock()
+		next := c.peek()
+		if next == nil || next.when.After(t) {
+			if t.After(c.now) {
+				c.now = t
+			}
+			c.mu.Unlock()
+			return n
+		}
+		ev := c.pop()
+		if ev.when.After(c.now) {
+			c.now = ev.when
+		}
+		c.runs++
+		c.mu.Unlock()
+		ev.fn()
+		n++
+	}
+}
+
+// Drain runs events until none remain or limit events have executed.
+// It returns the number of events executed. A limit of 0 means no limit;
+// callers use a limit to guard against self-perpetuating timer chains
+// (heartbeats reschedule themselves forever).
+func (c *Virtual) Drain(limit int) int {
+	n := 0
+	for limit <= 0 || n < limit {
+		if !c.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// pop removes and returns the earliest live event, skipping stopped ones.
+// Caller must hold mu.
+func (c *Virtual) pop() *event {
+	for c.pq.Len() > 0 {
+		ev, ok := heap.Pop(&c.pq).(*event)
+		if !ok {
+			continue
+		}
+		if ev.stopped {
+			continue
+		}
+		ev.fired = true
+		return ev
+	}
+	return nil
+}
+
+// peek returns the earliest live event without removing it, discarding
+// stopped events it passes over. Caller must hold mu.
+func (c *Virtual) peek() *event {
+	for c.pq.Len() > 0 {
+		ev := c.pq[0]
+		if ev.stopped {
+			heap.Pop(&c.pq)
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+// event is a pending Virtual callback; it doubles as the Timer handle.
+type event struct {
+	when    time.Time
+	seq     uint64
+	fn      func()
+	c       *Virtual
+	stopped bool
+	fired   bool
+	index   int // heap index; -1 once popped
+}
+
+var _ Timer = (*event)(nil)
+
+// Stop implements Timer. Stopped events are lazily removed from the queue.
+func (ev *event) Stop() bool {
+	ev.c.mu.Lock()
+	defer ev.c.mu.Unlock()
+	if ev.stopped || ev.fired {
+		return false
+	}
+	ev.stopped = true
+	return true
+}
+
+// eventQueue is a min-heap ordered by (when, seq).
+type eventQueue []*event
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].when.Equal(q[j].when) {
+		return q[i].when.Before(q[j].when)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,138 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/transport"
+)
+
+func deployRig(t *testing.T) (*clock.Virtual, *netsim.Network, *core.Deployment) {
+	t.Helper()
+	clk := clock.NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	net := netsim.New(clk, 5, netsim.LAN())
+	d, err := core.Deploy(core.DeployOptions{
+		Clock:      clk,
+		Network:    net,
+		Servers:    []string{"srv-a", "srv-b"},
+		ExtraPeers: []string{"srv-c"},
+		Movies: []*core.Movie{
+			core.GenerateMovie("movie-1", 30*time.Second, 1),
+			core.GenerateMovie("movie-2", 30*time.Second, 2),
+		},
+		Replicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	return clk, net, d
+}
+
+func TestDeployAndWatch(t *testing.T) {
+	clk, _, d := deployRig(t)
+	clk.Advance(2 * time.Second)
+
+	if got := len(d.ServerIDs()); got != 2 {
+		t.Fatalf("deployed %d servers, want 2", got)
+	}
+	for movie, holders := range d.Placement {
+		if len(holders) != 2 {
+			t.Fatalf("movie %s placed on %d servers, want 2", movie, len(holders))
+		}
+	}
+
+	c, err := d.NewClient("viewer-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Watch("movie-1"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Second)
+	if c.State() != client.StateWatching {
+		t.Fatalf("client state = %v", c.State())
+	}
+	if got := c.Counters().Displayed; got < 250 {
+		t.Fatalf("displayed %d frames", got)
+	}
+	if s := d.ServingServer("viewer-1"); s == "" {
+		t.Fatal("no serving server reported")
+	}
+}
+
+func TestDeployFailoverViaStopServer(t *testing.T) {
+	clk, net, d := deployRig(t)
+	clk.Advance(2 * time.Second)
+	c, err := d.NewClient("viewer-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Watch("movie-1"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(8 * time.Second)
+
+	victim := d.ServingServer("viewer-1")
+	if victim == "" {
+		t.Fatal("nobody serving")
+	}
+	d.StopServer(victim)
+	net.Crash(transport.Addr(victim))
+	clk.Advance(8 * time.Second)
+
+	survivor := d.ServingServer("viewer-1")
+	if survivor == "" || survivor == victim {
+		t.Fatalf("serving server after failover = %q", survivor)
+	}
+}
+
+func TestDeployAddServer(t *testing.T) {
+	clk, _, d := deployRig(t)
+	clk.Advance(2 * time.Second)
+	c, err := d.NewClient("viewer-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Watch("movie-1"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(8 * time.Second)
+
+	if err := d.AddServer("srv-c"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(5 * time.Second)
+	if got := d.ServingServer("viewer-1"); got != "srv-c" {
+		t.Fatalf("after adding a fresh server, serving = %q, want srv-c (newcomer absorbs load)", got)
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	clk := clock.NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	net := netsim.New(clk, 1, netsim.LAN())
+	movie := core.GenerateMovie("m", time.Second, 1)
+
+	if _, err := core.Deploy(core.DeployOptions{Network: net, Servers: []string{"s"}, Movies: []*core.Movie{movie}}); err == nil {
+		t.Fatal("Deploy without clock succeeded")
+	}
+	if _, err := core.Deploy(core.DeployOptions{Clock: clk, Network: net, Movies: []*core.Movie{movie}}); err == nil {
+		t.Fatal("Deploy without servers succeeded")
+	}
+	if _, err := core.Deploy(core.DeployOptions{Clock: clk, Network: net, Servers: []string{"s"}}); err == nil {
+		t.Fatal("Deploy without movies succeeded")
+	}
+	if _, err := core.Deploy(core.DeployOptions{
+		Clock: clk, Network: net, Servers: []string{"s"},
+		Movies: []*core.Movie{movie}, Replicas: 5,
+	}); err == nil {
+		t.Fatal("Deploy with replicas > servers succeeded")
+	}
+}

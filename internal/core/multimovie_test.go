@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/transport"
+)
+
+// TestMultiMovieDeployment exercises the full service shape: four movies
+// placed with replication factor 2 across three servers, eight clients
+// across the movies, one server crash — every client must keep playing if
+// its movie survives on another replica.
+func TestMultiMovieDeployment(t *testing.T) {
+	clk := clock.NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	net := netsim.New(clk, 21, netsim.LAN())
+	movies := make([]*core.Movie, 4)
+	for i := range movies {
+		movies[i] = core.GenerateMovie(fmt.Sprintf("movie-%d", i), 60*time.Second, int64(i+1))
+	}
+	d, err := core.Deploy(core.DeployOptions{
+		Clock:    clk,
+		Network:  net,
+		Servers:  []string{"srv-a", "srv-b", "srv-c"},
+		Movies:   movies,
+		Replicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	clk.Advance(2 * time.Second)
+
+	// Each movie is on exactly 2 of the 3 servers.
+	serverLoad := map[string]int{}
+	for movie, holders := range d.Placement {
+		if len(holders) != 2 {
+			t.Fatalf("movie %s on %d servers", movie, len(holders))
+		}
+		for _, h := range holders {
+			serverLoad[h]++
+		}
+	}
+	for s, n := range serverLoad {
+		if n < 2 || n > 3 {
+			t.Fatalf("server %s holds %d movies; placement unbalanced %v", s, n, serverLoad)
+		}
+	}
+
+	// Eight clients spread over the four movies.
+	clients := make([]*core.Client, 8)
+	for i := range clients {
+		c, err := d.NewClient(fmt.Sprintf("viewer-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Watch(fmt.Sprintf("movie-%d", i%4)); err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		clk.Advance(150 * time.Millisecond)
+	}
+	clk.Advance(10 * time.Second)
+
+	for i, c := range clients {
+		if c.State() != client.StateWatching {
+			t.Fatalf("viewer-%d state = %v", i, c.State())
+		}
+		if got := d.ServingServer(c.ID()); got == "" {
+			t.Fatalf("viewer-%d unserved", i)
+		}
+	}
+
+	// Crash one server; replication factor 2 covers every movie.
+	d.StopServer("srv-b")
+	net.Crash(transport.Addr("srv-b"))
+	clk.Advance(10 * time.Second)
+
+	for i, c := range clients {
+		before := c.Counters().Displayed
+		clk.Advance(5 * time.Second)
+		after := c.Counters().Displayed
+		if after-before < 130 {
+			t.Fatalf("viewer-%d displayed only %d frames after the crash", i, after-before)
+		}
+		if got := d.ServingServer(c.ID()); got == "" || got == "srv-b" {
+			t.Fatalf("viewer-%d served by %q after crash", i, got)
+		}
+	}
+
+	// Aggregate smoothness across all eight clients.
+	var totalStalls, maxRun uint64
+	for _, c := range clients {
+		cnt := c.Counters()
+		totalStalls += cnt.Stalls
+		if cnt.MaxStallRun > maxRun {
+			maxRun = cnt.MaxStallRun
+		}
+	}
+	if maxRun > 15 {
+		t.Fatalf("a client froze for %d display ticks (>0.5s)", maxRun)
+	}
+	t.Logf("8 clients, 4 movies, 1 crash: total stalls=%d, worst freeze=%d ticks",
+		totalStalls, maxRun)
+}

@@ -1,0 +1,286 @@
+// Package fetch is the "separate mechanism for replicating the video
+// material" the paper assumes (§3, footnote): a chunked movie-transfer
+// protocol over the same unreliable datagrams as everything else. A server
+// brought up on the fly (§7: "a new server can be brought up without any
+// special preparations") fetches the movies it should serve from any peer
+// that has them, then joins their movie groups.
+//
+// The protocol is stop-and-wait per chunk with timeout retries — movies are
+// stored as structure only (≈5 bytes/frame; a two-hour feature is ≈1 MB),
+// so transfer time is irrelevant next to streaming. Providers are
+// stateless: every chunk request is answered from the catalog.
+package fetch
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/mpeg"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ChunkSize is the transfer unit; comfortably under the datagram limit.
+const ChunkSize = 32 * 1024
+
+// Message kinds on the bulk channel.
+const (
+	kindChunkReq uint8 = iota + 1
+	kindChunkResp
+	kindNotFound
+)
+
+// Provider answers chunk requests from a catalog. Requests arrive on in
+// (the bulk channel); chunks go back out on out (the bulk-reply channel),
+// where the requesting Fetcher listens.
+type Provider struct {
+	catalog *store.Catalog
+	in      transport.Endpoint
+	out     transport.Endpoint
+
+	mu     sync.Mutex
+	serial map[string][]byte // serialized movies, built lazily
+}
+
+// NewProvider starts serving the catalog's movies.
+func NewProvider(catalog *store.Catalog, in, out transport.Endpoint) *Provider {
+	p := &Provider{
+		catalog: catalog,
+		in:      in,
+		out:     out,
+		serial:  make(map[string][]byte),
+	}
+	in.SetHandler(p.onPacket)
+	return p
+}
+
+func (p *Provider) onPacket(from transport.Addr, payload []byte) {
+	r := wire.NewReader(payload)
+	if r.U8() != kindChunkReq {
+		return
+	}
+	reqID := r.U64()
+	movieID := r.String()
+	chunk := int(r.U32())
+	if r.Done() != nil {
+		return
+	}
+
+	data, err := p.serializedLocked(movieID)
+	if err != nil {
+		resp := make([]byte, 0, 32)
+		resp = wire.AppendU8(resp, kindNotFound)
+		resp = wire.AppendU64(resp, reqID)
+		resp = wire.AppendString(resp, movieID)
+		_ = p.out.Send(from, resp)
+		return
+	}
+	total := (len(data) + ChunkSize - 1) / ChunkSize
+	if chunk < 0 || chunk >= total {
+		return
+	}
+	lo := chunk * ChunkSize
+	hi := lo + ChunkSize
+	if hi > len(data) {
+		hi = len(data)
+	}
+	resp := make([]byte, 0, 64+hi-lo)
+	resp = wire.AppendU8(resp, kindChunkResp)
+	resp = wire.AppendU64(resp, reqID)
+	resp = wire.AppendString(resp, movieID)
+	resp = wire.AppendU32(resp, uint32(chunk))
+	resp = wire.AppendU32(resp, uint32(total))
+	resp = wire.AppendBytes(resp, data[lo:hi])
+	_ = p.out.Send(from, resp)
+}
+
+// serializedLocked returns (building and caching on first use) the movie's
+// on-the-wire form.
+func (p *Provider) serializedLocked(movieID string) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if data, ok := p.serial[movieID]; ok {
+		return data, nil
+	}
+	m, err := p.catalog.Get(movieID)
+	if err != nil {
+		return nil, err
+	}
+	var buf sliceWriter
+	if _, err := m.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	p.serial[movieID] = buf.b
+	return buf.b, nil
+}
+
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// Fetcher retrieves movies from providers: requests go out on out (the
+// bulk channel, where Providers listen); chunks arrive on in (the
+// bulk-reply channel). One outstanding transfer at a time per Fetcher; the
+// VoD server fetches sequentially at startup.
+type Fetcher struct {
+	clk clock.Clock
+	out transport.Endpoint
+	in  transport.Endpoint
+
+	mu      sync.Mutex
+	nextID  uint64
+	current *transfer
+}
+
+type transfer struct {
+	id       uint64
+	movie    string
+	peer     transport.Addr
+	chunks   [][]byte
+	total    int // -1 until the first response arrives
+	next     int
+	retries  int
+	timer    clock.Timer
+	callback func(*mpeg.Movie, error)
+}
+
+// NewFetcher wires a fetcher to its request/reply channels (it takes over
+// in's inbound handler).
+func NewFetcher(clk clock.Clock, out, in transport.Endpoint) *Fetcher {
+	f := &Fetcher{clk: clk, out: out, in: in}
+	in.SetHandler(f.onPacket)
+	return f
+}
+
+// maxChunkRetries bounds per-chunk retransmissions before the transfer
+// fails (the caller then tries another peer).
+const maxChunkRetries = 20
+
+// Fetch retrieves movieID from peer, invoking callback exactly once with
+// the movie or an error. Only one Fetch may be in flight per Fetcher.
+func (f *Fetcher) Fetch(movieID string, peer transport.Addr, callback func(*mpeg.Movie, error)) error {
+	f.mu.Lock()
+	if f.current != nil {
+		f.mu.Unlock()
+		return fmt.Errorf("fetch: transfer of %q already in flight", f.current.movie)
+	}
+	f.nextID++
+	tr := &transfer{
+		id:       f.nextID,
+		movie:    movieID,
+		peer:     peer,
+		total:    -1,
+		callback: callback,
+	}
+	f.current = tr
+	f.mu.Unlock()
+	f.requestChunk(tr)
+	return nil
+}
+
+func (f *Fetcher) requestChunk(tr *transfer) {
+	req := make([]byte, 0, 32)
+	req = wire.AppendU8(req, kindChunkReq)
+	req = wire.AppendU64(req, tr.id)
+	req = wire.AppendString(req, tr.movie)
+	req = wire.AppendU32(req, uint32(tr.next))
+	_ = f.out.Send(tr.peer, req)
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.current != tr {
+		return
+	}
+	tr.timer = f.clk.AfterFunc(300*time.Millisecond, func() {
+		f.mu.Lock()
+		if f.current != tr {
+			f.mu.Unlock()
+			return
+		}
+		tr.retries++
+		if tr.retries > maxChunkRetries {
+			f.current = nil
+			cb := tr.callback
+			f.mu.Unlock()
+			cb(nil, fmt.Errorf("fetch: %q from %s: no response after %d retries", tr.movie, tr.peer, maxChunkRetries))
+			return
+		}
+		f.mu.Unlock()
+		f.requestChunk(tr)
+	})
+}
+
+func (f *Fetcher) onPacket(from transport.Addr, payload []byte) {
+	r := wire.NewReader(payload)
+	kind := r.U8()
+	reqID := r.U64()
+	movieID := r.String()
+	if r.Err() != nil {
+		return
+	}
+
+	f.mu.Lock()
+	tr := f.current
+	if tr == nil || tr.id != reqID || tr.movie != movieID || from != tr.peer {
+		f.mu.Unlock()
+		return
+	}
+
+	if kind == kindNotFound {
+		f.current = nil
+		if tr.timer != nil {
+			tr.timer.Stop()
+		}
+		cb := tr.callback
+		f.mu.Unlock()
+		cb(nil, fmt.Errorf("fetch: peer %s does not hold %q", from, movieID))
+		return
+	}
+	if kind != kindChunkResp {
+		f.mu.Unlock()
+		return
+	}
+	chunk := int(r.U32())
+	total := int(r.U32())
+	data := r.Bytes()
+	if r.Done() != nil || chunk != tr.next || total <= 0 {
+		f.mu.Unlock()
+		return
+	}
+	if tr.timer != nil {
+		tr.timer.Stop()
+	}
+	tr.total = total
+	tr.retries = 0
+	tr.chunks = append(tr.chunks, append([]byte(nil), data...))
+	tr.next++
+
+	if tr.next < tr.total {
+		f.mu.Unlock()
+		f.requestChunk(tr)
+		return
+	}
+
+	// Complete: assemble and parse.
+	f.current = nil
+	cb := tr.callback
+	var whole []byte
+	for _, c := range tr.chunks {
+		whole = append(whole, c...)
+	}
+	f.mu.Unlock()
+
+	movie, err := mpeg.ReadFrom(bytes.NewReader(whole))
+	if err != nil {
+		cb(nil, fmt.Errorf("fetch: %q from %s corrupt: %w", movieID, from, err))
+		return
+	}
+	cb(movie, nil)
+}

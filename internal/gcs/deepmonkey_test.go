@@ -1,0 +1,17 @@
+package gcs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDeepMonkey sweeps many more randomized schedules than TestMonkey —
+// the seeds in this range have historically exposed three protocol bugs
+// (cross-view cut mixing, lost-install stranding, asymmetric-view
+// divergence), so they stay in the suite as regression coverage.
+func TestDeepMonkey(t *testing.T) {
+	for seed := int64(10); seed <= 150; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("s%d", seed), func(t *testing.T) { monkeyRun(t, seed) })
+	}
+}

@@ -1,0 +1,111 @@
+package gcs
+
+import "time"
+
+// detector is the process-level unreliable failure detector: every
+// HeartbeatInterval the process pings each peer of interest; a peer silent
+// for SuspectTimeout becomes suspected. Any inbound datagram counts as life,
+// so heartbeats only add traffic on otherwise idle links. The paper requires
+// exactly this: "a (possibly unreliable) failure detection mechanism".
+//
+// All methods require the owning Process's lock.
+type detector struct {
+	p         *Process
+	lastHeard map[ProcessID]time.Time
+	suspected map[ProcessID]bool
+}
+
+func newDetector(p *Process) *detector {
+	return &detector{
+		p:         p,
+		lastHeard: make(map[ProcessID]time.Time),
+		suspected: make(map[ProcessID]bool),
+	}
+}
+
+// peersLocked returns every process this one should ping and watch: the
+// co-members of all views plus pending view-change candidates and foreign
+// (joining/merging) processes.
+func (d *detector) peersLocked() []ProcessID {
+	set := make(map[ProcessID]bool)
+	for _, m := range d.p.members {
+		if !m.active {
+			continue
+		}
+		for _, id := range m.view.Members {
+			set[id] = true
+		}
+		for id := range m.foreign {
+			set[id] = true
+		}
+		if m.prop != nil {
+			for _, id := range m.prop.candidates {
+				set[id] = true
+			}
+		}
+		if m.status == statusFlushing {
+			for _, id := range m.flushOldView.Members {
+				set[id] = true
+			}
+			set[m.curPID.Coord] = true
+		}
+	}
+	delete(set, d.p.id)
+
+	now := d.p.cfg.Clock.Now()
+	peers := make([]ProcessID, 0, len(set))
+	for id := range set {
+		peers = append(peers, id)
+		if _, ok := d.lastHeard[id]; !ok {
+			// Grace period: a peer becomes suspectable only after it has
+			// had one full timeout to say anything.
+			d.lastHeard[id] = now
+		}
+	}
+	// Forget peers no longer of interest so state does not grow forever.
+	for id := range d.lastHeard {
+		if !set[id] {
+			delete(d.lastHeard, id)
+			delete(d.suspected, id)
+		}
+	}
+	return sortedIDs(peers)
+}
+
+// heardLocked records life from a peer, clearing any suspicion.
+func (d *detector) heardLocked(from ProcessID) {
+	if _, tracked := d.lastHeard[from]; tracked {
+		d.lastHeard[from] = d.p.cfg.Clock.Now()
+	}
+	delete(d.suspected, from)
+}
+
+// checkLocked scans for peers that newly exceeded the suspect timeout and
+// returns them.
+func (d *detector) checkLocked() []ProcessID {
+	now := d.p.cfg.Clock.Now()
+	var newly []ProcessID
+	for id, t := range d.lastHeard {
+		if d.suspected[id] {
+			continue
+		}
+		if now.Sub(t) >= d.p.cfg.SuspectTimeout {
+			d.suspected[id] = true
+			newly = append(newly, id)
+		}
+	}
+	return sortedIDs(newly)
+}
+
+// isSuspectedLocked reports whether id is currently suspected.
+func (d *detector) isSuspectedLocked(id ProcessID) bool { return d.suspected[id] }
+
+// suspectLocked marks id suspected immediately — used when the view-change
+// protocol itself establishes unresponsiveness (a candidate that never
+// answers despite retransmissions). Hearing from the peer clears it again.
+func (d *detector) suspectLocked(id ProcessID) {
+	if id == d.p.id {
+		return
+	}
+	d.suspected[id] = true
+}

@@ -1,0 +1,353 @@
+// Package gcs is a from-scratch group communication system providing the
+// services the paper obtains from Transis [Amir, Dolev, Kramer, Malki,
+// FTCS'92]: named process groups, reliable FIFO multicast within a
+// membership view, and agreed membership views delivered to members on
+// every change — under crash failures and network partitions.
+//
+// The design follows the classical partitionable virtual-synchrony
+// architecture:
+//
+//   - a process-level heartbeat failure detector (unreliable, as the paper
+//     permits) raises suspicions;
+//   - the lowest-ID member of a view coordinates a view change: it proposes
+//     a candidate membership, collects each member's message cut, drives
+//     retransmission until all members reach a common cut, then installs
+//     the new view — so members that survive from one view to the next
+//     deliver the same set of messages in the old view (virtual synchrony);
+//   - joins and partition merges are the same protocol: a joiner starts as
+//     a singleton view and announces itself (presence) to contact
+//     addresses; coordinators fold foreign views into the next proposal.
+//
+// Multicast within a view is sender-FIFO with NAK-driven retransmission;
+// delivered-but-unstable messages are retained until an acknowledgement
+// vector round establishes stability, and are the source for flush
+// recovery.
+package gcs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/transport"
+)
+
+// ProcessID identifies a GCS process; it is the process's transport address.
+type ProcessID = transport.Addr
+
+// ViewID identifies a membership view. Views are partially ordered by Seq;
+// Coord disambiguates views installed concurrently in different partitions.
+type ViewID struct {
+	Seq   uint64
+	Coord ProcessID
+}
+
+// String implements fmt.Stringer.
+func (v ViewID) String() string { return fmt.Sprintf("%d@%s", v.Seq, v.Coord) }
+
+// View is a membership view of one group.
+type View struct {
+	Group   string
+	ID      ViewID
+	Members []ProcessID // sorted ascending
+}
+
+// Includes reports whether p is a member of the view.
+func (v View) Includes(p ProcessID) bool {
+	i := sort.Search(len(v.Members), func(i int) bool { return v.Members[i] >= p })
+	return i < len(v.Members) && v.Members[i] == p
+}
+
+// Coordinator returns the member that coordinates view changes: the lowest
+// process ID, a deterministic choice every member agrees on.
+func (v View) Coordinator() ProcessID {
+	if len(v.Members) == 0 {
+		return ""
+	}
+	return v.Members[0]
+}
+
+// Handlers are the callbacks a group member registers at Join. Callbacks
+// run without internal locks held, so they may call back into the GCS
+// (Multicast, Leave). They must not block.
+type Handlers struct {
+	// OnView is invoked when a new view is installed, including the
+	// initial singleton view at Join.
+	OnView func(v View)
+
+	// OnMessage is invoked for every delivered group message — reliable
+	// FIFO multicasts from view members (including the member's own) and
+	// anycasts from processes outside the group. The payload must be
+	// copied if retained.
+	OnMessage func(group string, from ProcessID, payload []byte)
+}
+
+// Config configures a Process. Zero-valued durations take the defaults
+// noted on each field; Clock and Endpoint are required.
+type Config struct {
+	Clock    clock.Clock
+	Endpoint transport.Endpoint
+
+	// HeartbeatInterval is the failure-detector ping period (default 100ms).
+	HeartbeatInterval time.Duration
+	// SuspectTimeout is how long a silent peer stays unsuspected (default
+	// 500ms). With the paper's parameters this dominates takeover time.
+	SuspectTimeout time.Duration
+	// AckInterval is the stability-gossip period (default 200ms).
+	AckInterval time.Duration
+	// RetransmitInterval is the NAK retry period (default 50ms).
+	RetransmitInterval time.Duration
+	// PresenceInterval is the join/merge announcement period (default 250ms).
+	PresenceInterval time.Duration
+	// ProposalTimeout bounds each view-change phase (default 300ms).
+	ProposalTimeout time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if c.SuspectTimeout <= 0 {
+		c.SuspectTimeout = 500 * time.Millisecond
+	}
+	if c.AckInterval <= 0 {
+		c.AckInterval = 200 * time.Millisecond
+	}
+	if c.RetransmitInterval <= 0 {
+		c.RetransmitInterval = 50 * time.Millisecond
+	}
+	if c.PresenceInterval <= 0 {
+		c.PresenceInterval = 250 * time.Millisecond
+	}
+	if c.ProposalTimeout <= 0 {
+		c.ProposalTimeout = 300 * time.Millisecond
+	}
+}
+
+var (
+	// ErrClosed is returned by operations on a closed Process or a left
+	// group membership.
+	ErrClosed = errors.New("gcs: closed")
+
+	// ErrAlreadyJoined is returned by Join for a group this process is
+	// already a member of.
+	ErrAlreadyJoined = errors.New("gcs: already joined")
+)
+
+// Process is one GCS endpoint: it hosts this node's memberships and runs
+// the shared failure detector. All methods are safe for concurrent use.
+type Process struct {
+	cfg Config
+	id  ProcessID
+
+	mu      sync.Mutex
+	closed  bool
+	members map[string]*Member // by group name
+	fd      *detector
+	direct  func(from ProcessID, payload []byte)
+
+	hbTask *clock.Periodic
+}
+
+// NewProcess creates a Process on cfg.Endpoint and starts its failure
+// detector. The caller must eventually Close it.
+func NewProcess(cfg Config) *Process {
+	cfg.fillDefaults()
+	p := &Process{
+		cfg:     cfg,
+		id:      cfg.Endpoint.Addr(),
+		members: make(map[string]*Member),
+	}
+	p.fd = newDetector(p)
+	cfg.Endpoint.SetHandler(p.onPacket)
+	p.hbTask = clock.Every(cfg.Clock, cfg.HeartbeatInterval, p.heartbeatTick)
+	return p
+}
+
+// ID returns this process's identifier (its transport address).
+func (p *Process) ID() ProcessID { return p.id }
+
+// Join makes this process a member of group. The membership starts as a
+// singleton view (delivered via h.OnView) and then merges with any views
+// reachable through the contact processes. Contacts are also re-announced
+// periodically, so a partitioned group re-merges once links heal.
+func (p *Process) Join(group string, h Handlers, contacts ...ProcessID) (*Member, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, ok := p.members[group]; ok {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: group %q", ErrAlreadyJoined, group)
+	}
+	m := newMember(p, group, h, contacts)
+	p.members[group] = m
+	var cb callbacks
+	m.installSingleton(&cb)
+	p.mu.Unlock()
+	cb.run()
+	return m, nil
+}
+
+// Anycast delivers payload to the group member hosted at target, as a
+// group message from this process. This is how a process outside a group
+// talks to "the abstract group" (the paper's clients contacting the VoD
+// server group) — delivery is best-effort, like the UDP it rides on.
+func (p *Process) Anycast(target ProcessID, group string, payload []byte) error {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return p.cfg.Endpoint.Send(target, encodeAnycast(group, payload))
+}
+
+// Send delivers payload to target's direct handler — a plain datagram
+// between GCS processes, outside any group (used for point-to-point
+// replies such as the VoD OpenReply).
+func (p *Process) Send(target ProcessID, payload []byte) error {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return p.cfg.Endpoint.Send(target, encodeDirect(payload))
+}
+
+// SetDirectHandler installs the handler for Send datagrams.
+func (p *Process) SetDirectHandler(h func(from ProcessID, payload []byte)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.direct = h
+}
+
+// Close stops the process: all memberships cease without graceful leave
+// (peers will detect the silence), timers stop, and the endpoint handler
+// is detached.
+func (p *Process) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for _, m := range p.members {
+		m.deactivateLocked()
+	}
+	p.mu.Unlock()
+	p.hbTask.Stop()
+	p.cfg.Endpoint.SetHandler(nil)
+}
+
+// heartbeatTick drives the failure detector.
+func (p *Process) heartbeatTick() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	peers := p.fd.peersLocked()
+	var cb callbacks
+	newlySuspected := p.fd.checkLocked()
+	for _, s := range newlySuspected {
+		for _, m := range p.members {
+			m.onSuspicionLocked(s, &cb)
+		}
+	}
+	p.mu.Unlock()
+	cb.run()
+	for _, peer := range peers {
+		_ = p.cfg.Endpoint.Send(peer, encodeHeartbeat())
+	}
+}
+
+// onPacket is the transport inbound handler.
+func (p *Process) onPacket(from ProcessID, payload []byte) {
+	msg, err := decodeMessage(payload)
+	if err != nil {
+		return // corrupt or alien datagram; drop like UDP noise
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.fd.heardLocked(from)
+
+	var cb callbacks
+	switch msg := msg.(type) {
+	case *msgHeartbeat:
+		// Liveness already recorded above.
+	case *msgDirect:
+		if h := p.direct; h != nil {
+			data := msg.payload
+			cb.add(func() { h(from, data) })
+		}
+	case *msgAnycast:
+		if m := p.members[msg.group]; m != nil && m.active {
+			h := m.handlers.OnMessage
+			if h != nil {
+				group, data := msg.group, msg.payload
+				cb.add(func() { h(group, from, data) })
+			}
+		}
+	default:
+		if g, ok := groupOf(msg); ok {
+			if m := p.members[g]; m != nil && m.active {
+				m.onMessageLocked(from, msg, &cb)
+			}
+		}
+	}
+	p.mu.Unlock()
+	cb.run()
+}
+
+// callbacks collects application callbacks while the process lock is held,
+// to run after it is released: handlers may re-enter the GCS.
+type callbacks struct {
+	fns []func()
+}
+
+func (c *callbacks) add(f func()) { c.fns = append(c.fns, f) }
+
+func (c *callbacks) run() {
+	for _, f := range c.fns {
+		f()
+	}
+}
+
+// sortedIDs returns a sorted copy of ids with duplicates removed.
+func sortedIDs(ids []ProcessID) []ProcessID {
+	out := make([]ProcessID, 0, len(ids))
+	seen := make(map[ProcessID]bool, len(ids))
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Groups returns the names of the groups this process is currently a
+// member of, for introspection and diagnostics.
+func (p *Process) Groups() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.members))
+	for g, m := range p.members {
+		if m.active {
+			out = append(out, g)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

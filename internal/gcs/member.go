@@ -1,0 +1,819 @@
+package gcs
+
+import (
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/wire"
+)
+
+type memberStatus int
+
+const (
+	statusNormal memberStatus = iota + 1
+	statusFlushing
+)
+
+// Member is one process's membership in one group: the handle returned by
+// Process.Join. All exported methods are safe for concurrent use.
+type Member struct {
+	p        *Process
+	group    string
+	handlers Handlers
+	contacts []ProcessID
+
+	active  bool
+	leaving bool
+
+	view View
+	ms   *mcastState
+
+	status memberStatus
+	curPID proposalID // highest proposal followed so far
+	round  uint64     // my own proposal round counter
+
+	prop *proposal // set while I coordinate a view change
+
+	// Participant-side flush state.
+	flushOldView    View        // the view whose messages are being flushed
+	flushCandidates []ProcessID // candidate set of the followed proposal
+	cutTargets      map[ProcessID]uint64
+	sentCutDone     bool
+	flushHeard      time.Time // last flush-protocol activity, for the watchdog
+	sendQueue       [][]byte  // multicasts issued while flushing
+
+	// foreign holds processes known to be outside the view (joiners,
+	// members of merged-away partitions) with an expiry deadline.
+	foreign map[ProcessID]time.Time
+
+	// departed holds members that announced a graceful leave.
+	departed map[ProcessID]bool
+
+	// Divergence detection: ack vectors carrying a different ViewID from
+	// a process we consider a member reveal that the group split without
+	// a partition (e.g. a lost install). Three consecutive mismatches
+	// (longer than normal install skew) force a reconciling view change.
+	divergeCount map[ProcessID]int
+	forceChange  bool
+
+	// future buffers multicasts tagged with views not yet installed here.
+	future map[ViewID][]*msgMcast
+
+	// Agreed-multicast state (see agreed.go). Unlike the per-view FIFO
+	// state, this survives view changes.
+	agreedSendSeq   uint64
+	agreedPending   map[uint64][]byte               // my unacked agreed sends
+	agreedForwarded map[ProcessID]map[uint64]bool   // sequencer-side dedup
+	agreedNext      map[ProcessID]uint64            // delivery cursor per sender
+	agreedParked    map[ProcessID]map[uint64][]byte // out-of-order agreed
+
+	ackTask      *clock.Periodic
+	retransTask  *clock.Periodic
+	presenceTask *clock.Periodic
+	debounce     clock.Timer
+	leaveTimer   clock.Timer
+}
+
+// mcastState is the per-view reliable-FIFO multicast machinery.
+type mcastState struct {
+	sendSeq  uint64                          // next sequence number I assign
+	recvNext map[ProcessID]uint64            // next seq to deliver, per sender
+	pending  map[ProcessID]map[uint64][]byte // received out of order / frozen
+	retained map[ProcessID]map[uint64][]byte // delivered but unstable
+	peerAck  map[ProcessID]map[ProcessID]uint64
+	// peerContig holds each member's received-contiguous watermark — the
+	// acknowledgement the safe-delivery gate waits on (see safe.go).
+	peerContig map[ProcessID]map[ProcessID]uint64
+}
+
+func newMcastState(members []ProcessID) *mcastState {
+	ms := &mcastState{
+		recvNext:   make(map[ProcessID]uint64, len(members)),
+		pending:    make(map[ProcessID]map[uint64][]byte),
+		retained:   make(map[ProcessID]map[uint64][]byte),
+		peerAck:    make(map[ProcessID]map[ProcessID]uint64),
+		peerContig: make(map[ProcessID]map[ProcessID]uint64),
+	}
+	for _, m := range members {
+		ms.recvNext[m] = 0
+	}
+	return ms
+}
+
+// lookup returns the payload of (sender, seq) if this member still has it.
+func (ms *mcastState) lookup(sender ProcessID, seq uint64) ([]byte, bool) {
+	if m := ms.retained[sender]; m != nil {
+		if p, ok := m[seq]; ok {
+			return p, true
+		}
+	}
+	if m := ms.pending[sender]; m != nil {
+		if p, ok := m[seq]; ok {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+func (ms *mcastState) retain(sender ProcessID, seq uint64, payload []byte) {
+	m := ms.retained[sender]
+	if m == nil {
+		m = make(map[uint64][]byte)
+		ms.retained[sender] = m
+	}
+	m[seq] = payload
+}
+
+func (ms *mcastState) park(sender ProcessID, seq uint64, payload []byte) {
+	m := ms.pending[sender]
+	if m == nil {
+		m = make(map[uint64][]byte)
+		ms.pending[sender] = m
+	}
+	m[seq] = payload
+}
+
+func newMember(p *Process, group string, h Handlers, contacts []ProcessID) *Member {
+	m := &Member{
+		p:        p,
+		group:    group,
+		handlers: h,
+		contacts: sortedIDs(contacts),
+		active:   true,
+		status:   statusNormal,
+		foreign:  make(map[ProcessID]time.Time),
+		departed: make(map[ProcessID]bool),
+		future:   make(map[ViewID][]*msgMcast),
+	}
+	m.ackTask = clock.Every(p.cfg.Clock, p.cfg.AckInterval, m.ackTick)
+	m.retransTask = clock.Every(p.cfg.Clock, p.cfg.RetransmitInterval, m.retransTick)
+	m.presenceTask = clock.Every(p.cfg.Clock, p.cfg.PresenceInterval, m.presenceTick)
+	return m
+}
+
+// installSingleton installs the initial one-member view at Join time.
+// Caller holds p.mu.
+func (m *Member) installSingleton(cb *callbacks) {
+	m.view = View{
+		Group:   m.group,
+		ID:      ViewID{Seq: 1, Coord: m.p.id},
+		Members: []ProcessID{m.p.id},
+	}
+	m.ms = newMcastState(m.view.Members)
+	m.notifyViewLocked(cb)
+	// Announce immediately; the periodic presence task keeps retrying.
+	m.sendPresenceLocked()
+}
+
+// View returns the currently installed view.
+func (m *Member) View() View {
+	m.p.mu.Lock()
+	defer m.p.mu.Unlock()
+	v := m.view
+	v.Members = append([]ProcessID(nil), v.Members...)
+	return v
+}
+
+// Multicast reliably FIFO-multicasts payload to the group's current view,
+// including this member itself. During a view change the message is queued
+// and sent in the next view.
+func (m *Member) Multicast(payload []byte) error {
+	data := wrapPlain(payload)
+	m.p.mu.Lock()
+	if !m.active {
+		m.p.mu.Unlock()
+		return ErrClosed
+	}
+	if m.status != statusNormal {
+		m.sendQueue = append(m.sendQueue, data)
+		m.p.mu.Unlock()
+		return nil
+	}
+	var cb callbacks
+	m.multicastWrappedLocked(data, &cb)
+	m.p.mu.Unlock()
+	cb.run()
+	return nil
+}
+
+// multicastWrappedLocked assigns the next sequence number, transmits to
+// peers and self-delivers in FIFO position. data carries the internal
+// payload framing (see agreed.go). Caller holds p.mu.
+func (m *Member) multicastWrappedLocked(data []byte, cb *callbacks) {
+	seq := m.ms.sendSeq
+	m.ms.sendSeq++
+	m.ms.retain(m.p.id, seq, data)
+	pkt := encodeMcast(&msgMcast{
+		group:   m.group,
+		view:    m.view.ID,
+		sender:  m.p.id,
+		seq:     seq,
+		payload: data,
+	})
+	for _, id := range m.view.Members {
+		if id != m.p.id {
+			_ = m.p.cfg.Endpoint.Send(id, pkt)
+		}
+	}
+	// Self-delivery goes through the same gated path as everyone else's
+	// messages: plain/causal/agreed payloads deliver immediately from the
+	// head of our own stream, while safe payloads wait for universal
+	// receipt like they must.
+	m.ms.park(m.p.id, seq, data)
+	m.deliverAllReadyLocked(cb)
+}
+
+// dispatchPayloadLocked unwraps the internal framing of a FIFO-delivered
+// payload and routes it: plain payloads go to the application handler,
+// agreed payloads go through the total-order machinery. Caller holds p.mu.
+func (m *Member) dispatchPayloadLocked(sender ProcessID, data []byte, cb *callbacks) {
+	if len(data) == 0 {
+		return
+	}
+	switch data[0] {
+	case payloadPlain:
+		if h := m.handlers.OnMessage; h != nil {
+			group := m.group
+			body := data[1:]
+			cb.add(func() { h(group, sender, body) })
+		}
+	case payloadAgreed:
+		r := wire.NewReader(data[1:])
+		orig := ProcessID(r.String())
+		seq := r.U64()
+		body := r.Rest()
+		if r.Err() != nil {
+			return
+		}
+		m.deliverAgreedLocked(orig, seq, body, cb)
+	case payloadCausal:
+		env, ok := parseCausal(data[1:])
+		if !ok {
+			return
+		}
+		if h := m.handlers.OnMessage; h != nil {
+			group := m.group
+			body := env.body
+			cb.add(func() { h(group, sender, body) })
+		}
+	case payloadSafe:
+		if h := m.handlers.OnMessage; h != nil {
+			group := m.group
+			body := data[1:]
+			cb.add(func() { h(group, sender, body) })
+		}
+	}
+}
+
+// Leave gracefully departs the group: peers are told, the member keeps
+// serving retransmissions until the view change that excludes it completes
+// (or a grace timeout elapses), and then deactivates.
+func (m *Member) Leave() error {
+	m.p.mu.Lock()
+	if !m.active {
+		m.p.mu.Unlock()
+		return ErrClosed
+	}
+	if m.leaving {
+		m.p.mu.Unlock()
+		return nil
+	}
+	m.leaving = true
+	pkt := encodeLeave(&msgLeave{group: m.group})
+	peers := make([]ProcessID, 0, len(m.view.Members))
+	for _, id := range m.view.Members {
+		if id != m.p.id {
+			peers = append(peers, id)
+		}
+	}
+	if len(peers) == 0 {
+		m.deactivateLocked()
+		m.p.mu.Unlock()
+		return nil
+	}
+	grace := m.p.cfg.SuspectTimeout + 4*m.p.cfg.ProposalTimeout
+	m.leaveTimer = m.p.cfg.Clock.AfterFunc(grace, func() {
+		m.p.mu.Lock()
+		m.deactivateLocked()
+		m.p.mu.Unlock()
+	})
+	m.p.mu.Unlock()
+	for _, id := range peers {
+		_ = m.p.cfg.Endpoint.Send(id, pkt)
+	}
+	return nil
+}
+
+// deactivateLocked stops the membership entirely. Caller holds p.mu.
+func (m *Member) deactivateLocked() {
+	if !m.active {
+		return
+	}
+	m.active = false
+	m.ackTask.Stop()
+	m.retransTask.Stop()
+	m.presenceTask.Stop()
+	if m.debounce != nil {
+		m.debounce.Stop()
+	}
+	if m.leaveTimer != nil {
+		m.leaveTimer.Stop()
+	}
+	if m.prop != nil && m.prop.timer != nil {
+		m.prop.timer.Stop()
+	}
+	if m.p.members[m.group] == m {
+		delete(m.p.members, m.group)
+	}
+}
+
+// notifyViewLocked queues the OnView callback with a defensive copy.
+func (m *Member) notifyViewLocked(cb *callbacks) {
+	if h := m.handlers.OnView; h != nil {
+		v := m.view
+		v.Members = append([]ProcessID(nil), v.Members...)
+		cb.add(func() { h(v) })
+	}
+}
+
+// onMessageLocked dispatches a group-scoped message. Caller holds p.mu.
+func (m *Member) onMessageLocked(from ProcessID, msg any, cb *callbacks) {
+	switch msg := msg.(type) {
+	case *msgMcast:
+		m.onMcastLocked(msg, cb)
+	case *msgNak:
+		m.onNakLocked(from, msg)
+	case *msgAckVec:
+		m.onAckVecLocked(from, msg, cb)
+	case *msgPresence:
+		m.onPresenceLocked(from, msg)
+	case *msgLeave:
+		m.onLeaveLocked(from)
+	case *msgAgreedReq:
+		m.onAgreedReqLocked(from, msg, cb)
+	case *msgPropose:
+		m.onProposeLocked(msg, cb)
+	case *msgSyncInfo:
+		m.onSyncInfoLocked(from, msg, cb)
+	case *msgCut:
+		m.onCutLocked(msg, cb)
+	case *msgCutDone:
+		m.onCutDoneLocked(from, msg, cb)
+	case *msgInstall:
+		m.onInstallLocked(msg, cb)
+	}
+}
+
+// onMcastLocked handles an inbound multicast or retransmission.
+func (m *Member) onMcastLocked(msg *msgMcast, cb *callbacks) {
+	// Scope the message to a view.
+	switch {
+	case m.status == statusNormal && msg.view == m.view.ID:
+		m.acceptMcastLocked(msg, true /* deliver */, cb)
+	case m.status == statusFlushing && msg.view == m.flushOldView.ID:
+		// Frozen: park the message; the cut decides what gets delivered.
+		m.acceptMcastLocked(msg, false, cb)
+		m.drainTowardCutLocked(cb)
+	case msg.view.Seq > m.view.ID.Seq:
+		// A peer already installed a later view; hold the message until
+		// our own install catches up.
+		if len(m.future[msg.view]) < 4096 {
+			cp := *msg
+			cp.payload = append([]byte(nil), msg.payload...)
+			m.future[msg.view] = append(m.future[msg.view], &cp)
+		}
+	default:
+		// Stale view; drop.
+	}
+}
+
+// acceptMcastLocked files one multicast into the FIFO machinery. When
+// deliver is true, in-order messages are delivered immediately along with
+// any unblocked pending ones.
+func (m *Member) acceptMcastLocked(msg *msgMcast, deliver bool, cb *callbacks) {
+	scope := m.view
+	if m.status == statusFlushing {
+		scope = m.flushOldView
+	}
+	if !scope.Includes(msg.sender) {
+		return
+	}
+	next := m.ms.recvNext[msg.sender]
+	if msg.seq < next {
+		return // duplicate
+	}
+	data := append([]byte(nil), msg.payload...)
+	m.ms.park(msg.sender, msg.seq, data)
+	if deliver {
+		m.deliverAllReadyLocked(cb)
+	}
+}
+
+// deliverAllReadyLocked delivers every pending message that is in FIFO
+// position and causally ready, looping to a fixpoint: delivering one
+// message can unblock causal successors from other senders.
+func (m *Member) deliverAllReadyLocked(cb *callbacks) {
+	for progress := true; progress; {
+		progress = false
+		for _, sender := range m.view.Members {
+			pend := m.ms.pending[sender]
+			for {
+				next := m.ms.recvNext[sender]
+				data, ok := pend[next]
+				if !ok || !m.causalReadyLocked(sender, data) || !m.safeReadyLocked(sender, next, data) {
+					break
+				}
+				delete(pend, next)
+				m.deliverOneLocked(sender, next, data, cb)
+				progress = true
+			}
+		}
+	}
+}
+
+// deliverOneLocked delivers one message and retains it for stability.
+func (m *Member) deliverOneLocked(sender ProcessID, seq uint64, data []byte, cb *callbacks) {
+	m.ms.recvNext[sender] = seq + 1
+	m.ms.retain(sender, seq, data)
+	m.dispatchPayloadLocked(sender, data, cb)
+}
+
+// onNakLocked serves a retransmission request from whatever this member
+// still holds. NAKs are answered for the current and the flushing view.
+func (m *Member) onNakLocked(from ProcessID, msg *msgNak) {
+	if msg.view != m.view.ID && !(m.status == statusFlushing && msg.view == m.flushOldView.ID) {
+		return
+	}
+	for seq := msg.from; seq < msg.to; seq++ {
+		payload, ok := m.ms.lookup(msg.sender, seq)
+		if !ok {
+			continue
+		}
+		pkt := encodeMcast(&msgMcast{
+			group:   m.group,
+			view:    msg.view,
+			sender:  msg.sender,
+			seq:     seq,
+			payload: payload,
+		})
+		_ = m.p.cfg.Endpoint.Send(from, pkt)
+	}
+}
+
+// onAckVecLocked folds a stability vector in and garbage-collects retained
+// messages that every member has delivered. The vector also reveals tail
+// loss: the sender's own entry is its send counter, so a higher value than
+// our delivery cursor means messages we never saw — and, being the newest,
+// nothing after them would ever trigger gap detection. NAK immediately.
+func (m *Member) onAckVecLocked(from ProcessID, msg *msgAckVec, cb *callbacks) {
+	if m.status != statusNormal {
+		return
+	}
+	if msg.view != m.view.ID {
+		m.onDivergentTrafficLocked(from, msg.view)
+		return
+	}
+	if !m.view.Includes(from) {
+		return
+	}
+	delete(m.divergeCount, from)
+	m.ms.peerAck[from] = msg.vec
+	// Tail-loss repair: the sender's own contig entry equals its send
+	// counter (it parks everything it sends), so a higher value than our
+	// contiguous receipt means messages we never saw — and, being the
+	// newest, nothing after them would trigger ordinary gap detection.
+	theirs := msg.vec[from]
+	if msg.contig != nil && msg.contig[from] > theirs {
+		theirs = msg.contig[from]
+	}
+	if mine := m.contigForLocked(from); theirs > mine {
+		nak := encodeNak(&msgNak{
+			group:  m.group,
+			view:   m.view.ID,
+			sender: from,
+			from:   mine,
+			to:     theirs,
+		})
+		_ = m.p.cfg.Endpoint.Send(from, nak)
+	}
+	if msg.contig != nil {
+		m.ms.peerContig[from] = msg.contig
+		// Fresh receipt acknowledgements may open the safe-delivery gate.
+		m.deliverAllReadyLocked(cb)
+	}
+	m.gcStableLocked()
+}
+
+func (m *Member) gcStableLocked() {
+	for sender, retained := range m.ms.retained {
+		stable := m.ms.recvNext[sender]
+		for _, member := range m.view.Members {
+			if member == m.p.id {
+				continue
+			}
+			vec := m.ms.peerAck[member]
+			if vec == nil {
+				stable = 0
+				break
+			}
+			if v := vec[sender]; v < stable {
+				stable = v
+			}
+		}
+		for seq := range retained {
+			if seq < stable {
+				delete(retained, seq)
+			}
+		}
+	}
+}
+
+// onPresenceLocked learns about processes outside the view — joiners and
+// members of other partitions — and steers them to the coordinator.
+func (m *Member) onPresenceLocked(from ProcessID, msg *msgPresence) {
+	if m.leaving {
+		return
+	}
+	// Presence from a process we already count as a member, but living in
+	// a different view, is the asymmetric-split signature (it does not
+	// count us as a member, or a lost install stranded one side).
+	if m.view.Includes(from) && msg.view != m.view.ID && m.status == statusNormal {
+		m.onDivergentTrafficLocked(from, msg.view)
+	}
+	expiry := m.p.cfg.Clock.Now().Add(2 * m.p.cfg.SuspectTimeout)
+	for _, id := range append([]ProcessID{from}, msg.members...) {
+		if id == m.p.id || m.view.Includes(id) {
+			continue
+		}
+		m.foreign[id] = expiry
+	}
+	if len(m.foreign) == 0 {
+		return
+	}
+	if m.isActingCoordinatorLocked() {
+		m.scheduleProposalLocked()
+	} else {
+		// Relay on every presence (they are periodic and cheap) so the
+		// coordinator learns even if earlier relays were lost.
+		coord := m.actingCoordinatorLocked()
+		if coord != m.p.id {
+			_ = m.p.cfg.Endpoint.Send(coord, encodePresence(&msgPresence{
+				group:   m.group,
+				view:    msg.view,
+				members: msg.members,
+			}))
+		}
+	}
+}
+
+// onDivergentTrafficLocked counts view-mismatched traffic from a supposed
+// member; a persistent mismatch (longer than install skew) forces a
+// reconciling view change at the acting coordinator.
+func (m *Member) onDivergentTrafficLocked(from ProcessID, _ ViewID) {
+	if m.divergeCount == nil {
+		m.divergeCount = make(map[ProcessID]int)
+	}
+	if !m.view.Includes(from) {
+		// Traffic from a non-member whose view differs: treat the sender
+		// as foreign so the merge machinery picks it up.
+		m.foreign[from] = m.p.cfg.Clock.Now().Add(2 * m.p.cfg.SuspectTimeout)
+		if m.isActingCoordinatorLocked() {
+			m.scheduleProposalLocked()
+		}
+		return
+	}
+	m.divergeCount[from]++
+	if m.divergeCount[from] < 3 {
+		return
+	}
+	delete(m.divergeCount, from)
+	m.forceChange = true
+	if m.isActingCoordinatorLocked() {
+		m.scheduleProposalLocked()
+	}
+}
+
+// onLeaveLocked records a graceful departure and triggers a view change.
+func (m *Member) onLeaveLocked(from ProcessID) {
+	if !m.view.Includes(from) {
+		return
+	}
+	m.departed[from] = true
+	if m.isActingCoordinatorLocked() {
+		m.scheduleProposalLocked()
+	}
+}
+
+// onSuspicionLocked reacts to the failure detector suspecting s.
+func (m *Member) onSuspicionLocked(s ProcessID, cb *callbacks) {
+	if !m.active || m.leaving {
+		return
+	}
+	delete(m.foreign, s)
+	relevant := m.view.Includes(s) ||
+		(m.status == statusFlushing && (m.curPID.Coord == s || m.flushOldView.Includes(s)))
+	if !relevant {
+		return
+	}
+	if m.status == statusFlushing && m.curPID.Coord == s {
+		// The coordinator of the in-flight proposal died; the lowest
+		// unsuspected candidate takes over immediately.
+		if m.isActingCoordinatorLocked() {
+			m.startProposalLocked(cb)
+		}
+		return
+	}
+	if m.isActingCoordinatorLocked() {
+		m.scheduleProposalLocked()
+	}
+}
+
+// actingCoordinatorLocked returns the lowest unsuspected view member — the
+// process responsible for proposing the next view. During a flush whose
+// coordinator died, candidates of the proposal are considered instead.
+func (m *Member) actingCoordinatorLocked() ProcessID {
+	base := m.view.Members
+	if m.status == statusFlushing && m.p.fd.isSuspectedLocked(m.curPID.Coord) {
+		if m.prop != nil {
+			base = m.prop.candidates
+		} else {
+			base = m.flushCandidates
+		}
+	}
+	for _, id := range base {
+		if id == m.p.id || !m.p.fd.isSuspectedLocked(id) {
+			if !m.departed[id] {
+				return id
+			}
+		}
+	}
+	return m.p.id
+}
+
+func (m *Member) isActingCoordinatorLocked() bool {
+	return m.actingCoordinatorLocked() == m.p.id
+}
+
+// scheduleProposalLocked debounces proposal initiation so that a burst of
+// triggers (several suspicions, a joining batch) folds into one view change.
+func (m *Member) scheduleProposalLocked() {
+	if m.debounce != nil || m.leaving || !m.active {
+		return
+	}
+	m.debounce = m.p.cfg.Clock.AfterFunc(20*time.Millisecond, func() {
+		var cb callbacks
+		m.p.mu.Lock()
+		m.debounce = nil
+		if m.active && !m.leaving && m.isActingCoordinatorLocked() && m.changeNeededLocked() {
+			m.startProposalLocked(&cb)
+		}
+		m.p.mu.Unlock()
+		cb.run()
+	})
+}
+
+// changeNeededLocked reports whether the desired membership differs from
+// the installed view (or a flush is already underway that we must restart).
+func (m *Member) changeNeededLocked() bool {
+	if m.status == statusFlushing || m.forceChange {
+		return true
+	}
+	desired := m.desiredCandidatesLocked()
+	if len(desired) != len(m.view.Members) {
+		return true
+	}
+	for i, id := range desired {
+		if m.view.Members[i] != id {
+			return true
+		}
+	}
+	return false
+}
+
+// desiredCandidatesLocked computes the next membership: current members
+// minus suspects and leavers, plus live foreign processes.
+func (m *Member) desiredCandidatesLocked() []ProcessID {
+	now := m.p.cfg.Clock.Now()
+	var out []ProcessID
+	for _, id := range m.view.Members {
+		if id != m.p.id && (m.p.fd.isSuspectedLocked(id) || m.departed[id]) {
+			continue
+		}
+		out = append(out, id)
+	}
+	for id, exp := range m.foreign {
+		if exp.Before(now) {
+			delete(m.foreign, id)
+			continue
+		}
+		if m.p.fd.isSuspectedLocked(id) || m.departed[id] {
+			continue
+		}
+		out = append(out, id)
+	}
+	return sortedIDs(out)
+}
+
+// ackTick gossips the delivery vector for stability.
+func (m *Member) ackTick() {
+	m.p.mu.Lock()
+	if !m.active || m.status != statusNormal || len(m.view.Members) <= 1 {
+		m.p.mu.Unlock()
+		return
+	}
+	vec := make(map[ProcessID]uint64, len(m.ms.recvNext))
+	for k, v := range m.ms.recvNext {
+		vec[k] = v
+	}
+	pkt := encodeAckVec(&msgAckVec{group: m.group, view: m.view.ID, vec: vec, contig: m.contigLocked()})
+	peers := m.peersLocked()
+	m.p.mu.Unlock()
+	for _, id := range peers {
+		_ = m.p.cfg.Endpoint.Send(id, pkt)
+	}
+}
+
+// peersLocked returns the other members of the current view.
+func (m *Member) peersLocked() []ProcessID {
+	out := make([]ProcessID, 0, len(m.view.Members))
+	for _, id := range m.view.Members {
+		if id != m.p.id {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// retransTick drives NAK-based gap repair, flush progress and the flush
+// watchdog.
+func (m *Member) retransTick() {
+	var cb callbacks
+	m.p.mu.Lock()
+	if !m.active {
+		m.p.mu.Unlock()
+		return
+	}
+	switch m.status {
+	case statusNormal:
+		m.agreedRetryLocked(&cb)
+		// Ask senders to fill detected gaps.
+		for _, sender := range m.view.Members {
+			if sender == m.p.id {
+				continue
+			}
+			pend := m.ms.pending[sender]
+			if len(pend) == 0 {
+				continue
+			}
+			lo := m.ms.recvNext[sender]
+			hi := lo
+			for seq := range pend {
+				if seq >= hi {
+					hi = seq + 1
+				}
+			}
+			if hi > lo {
+				pkt := encodeNak(&msgNak{group: m.group, view: m.view.ID, sender: sender, from: lo, to: hi})
+				_ = m.p.cfg.Endpoint.Send(sender, pkt)
+			}
+		}
+	case statusFlushing:
+		m.flushTickLocked(&cb)
+	}
+	m.p.mu.Unlock()
+	cb.run()
+}
+
+// presenceTick announces this view to contacts outside it, driving joins
+// and partition re-merges.
+func (m *Member) presenceTick() {
+	m.p.mu.Lock()
+	if !m.active || m.leaving {
+		m.p.mu.Unlock()
+		return
+	}
+	targets := m.presenceTargetsLocked()
+	pkt := encodePresence(&msgPresence{group: m.group, view: m.view.ID, members: m.view.Members})
+	m.p.mu.Unlock()
+	for _, id := range targets {
+		_ = m.p.cfg.Endpoint.Send(id, pkt)
+	}
+}
+
+func (m *Member) presenceTargetsLocked() []ProcessID {
+	var out []ProcessID
+	for _, id := range m.contacts {
+		if id != m.p.id && !m.view.Includes(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// sendPresenceLocked announces immediately (used right after Join).
+func (m *Member) sendPresenceLocked() {
+	pkt := encodePresence(&msgPresence{group: m.group, view: m.view.ID, members: m.view.Members})
+	for _, id := range m.presenceTargetsLocked() {
+		_ = m.p.cfg.Endpoint.Send(id, pkt)
+	}
+}

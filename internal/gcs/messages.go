@@ -1,0 +1,427 @@
+package gcs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// proposalID orders concurrent view-change proposals: higher round wins,
+// and within a round the lower coordinator wins (it is the legitimate one).
+type proposalID struct {
+	Round uint64
+	Coord ProcessID
+}
+
+// supersedes reports whether b should replace a as the proposal a member
+// follows. The zero proposalID is superseded by any real proposal.
+func (b proposalID) supersedes(a proposalID) bool {
+	if b.Round != a.Round {
+		return b.Round > a.Round
+	}
+	if a.Coord == "" {
+		return b.Coord != ""
+	}
+	return b.Coord < a.Coord
+}
+
+func (b proposalID) String() string { return fmt.Sprintf("r%d@%s", b.Round, b.Coord) }
+
+// Internal message kinds. These share the GCS transport channel.
+const (
+	kindHeartbeat uint8 = iota + 1
+	kindDirect
+	kindAnycast
+	kindMcast
+	kindNak
+	kindAckVec
+	kindPresence
+	kindPropose
+	kindSyncInfo
+	kindCut
+	kindCutDone
+	kindInstall
+	kindLeave
+	kindAgreedReq
+)
+
+type (
+	msgHeartbeat struct{}
+
+	msgDirect struct{ payload []byte }
+
+	msgAnycast struct {
+		group   string
+		payload []byte
+	}
+
+	// msgMcast carries one group multicast. sender is the original
+	// sender, which differs from the transport source on retransmission.
+	msgMcast struct {
+		group   string
+		view    ViewID
+		sender  ProcessID
+		seq     uint64
+		payload []byte
+	}
+
+	// msgNak requests retransmission of sender's messages [from, to).
+	msgNak struct {
+		group  string
+		view   ViewID
+		sender ProcessID
+		from   uint64
+		to     uint64
+	}
+
+	// msgAckVec gossips the member's delivered-count vector, used for
+	// stability (garbage collection of retained messages), plus its
+	// received-contiguous watermark, used by the safe-delivery gate.
+	msgAckVec struct {
+		group  string
+		view   ViewID
+		vec    map[ProcessID]uint64
+		contig map[ProcessID]uint64
+	}
+
+	// msgPresence announces a view to processes outside it, triggering
+	// joins and partition merges.
+	msgPresence struct {
+		group   string
+		view    ViewID
+		members []ProcessID
+	}
+
+	// msgPropose opens a view change over the candidate membership.
+	msgPropose struct {
+		group      string
+		pid        proposalID
+		candidates []ProcessID
+	}
+
+	// msgSyncInfo reports a candidate's state to the proposal
+	// coordinator: its current view and its multicast cut.
+	msgSyncInfo struct {
+		group      string
+		pid        proposalID
+		oldView    ViewID
+		oldMembers []ProcessID
+		sendSeq    uint64
+		recvNext   map[ProcessID]uint64
+	}
+
+	// msgCut distributes the agreed delivery targets for the old views.
+	msgCut struct {
+		group   string
+		pid     proposalID
+		targets map[ProcessID]uint64
+	}
+
+	// msgCutDone reports that the member reached the cut.
+	msgCutDone struct {
+		group string
+		pid   proposalID
+	}
+
+	// msgInstall commits the new view.
+	msgInstall struct {
+		group   string
+		pid     proposalID
+		view    ViewID
+		members []ProcessID
+	}
+
+	// msgLeave announces a graceful departure from the group.
+	msgLeave struct{ group string }
+
+	// msgAgreedReq hands an agreed-multicast payload to the view
+	// coordinator for total ordering (seq is the sender's agreed
+	// sequence number).
+	msgAgreedReq struct {
+		group   string
+		seq     uint64
+		payload []byte
+	}
+)
+
+// groupOf returns the group a message is scoped to.
+func groupOf(m any) (string, bool) {
+	switch m := m.(type) {
+	case *msgAnycast:
+		return m.group, true
+	case *msgMcast:
+		return m.group, true
+	case *msgNak:
+		return m.group, true
+	case *msgAckVec:
+		return m.group, true
+	case *msgPresence:
+		return m.group, true
+	case *msgPropose:
+		return m.group, true
+	case *msgSyncInfo:
+		return m.group, true
+	case *msgCut:
+		return m.group, true
+	case *msgCutDone:
+		return m.group, true
+	case *msgInstall:
+		return m.group, true
+	case *msgLeave:
+		return m.group, true
+	case *msgAgreedReq:
+		return m.group, true
+	default:
+		return "", false
+	}
+}
+
+func appendViewID(b []byte, v ViewID) []byte {
+	b = wire.AppendU64(b, v.Seq)
+	return wire.AppendString(b, string(v.Coord))
+}
+
+func readViewID(r *wire.Reader) ViewID {
+	return ViewID{Seq: r.U64(), Coord: ProcessID(r.String())}
+}
+
+func appendPID(b []byte, pid proposalID) []byte {
+	b = wire.AppendU64(b, pid.Round)
+	return wire.AppendString(b, string(pid.Coord))
+}
+
+func readPID(r *wire.Reader) proposalID {
+	return proposalID{Round: r.U64(), Coord: ProcessID(r.String())}
+}
+
+func appendIDs(b []byte, ids []ProcessID) []byte {
+	b = wire.AppendU16(b, uint16(len(ids)))
+	for _, id := range ids {
+		b = wire.AppendString(b, string(id))
+	}
+	return b
+}
+
+func readIDs(r *wire.Reader) []ProcessID {
+	n := int(r.U16())
+	if r.Err() != nil {
+		return nil
+	}
+	ids := make([]ProcessID, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, ProcessID(r.String()))
+		if r.Err() != nil {
+			return nil
+		}
+	}
+	return ids
+}
+
+// appendVec encodes a process→seq map in sorted key order so encodings are
+// deterministic (useful for tests and replay).
+func appendVec(b []byte, vec map[ProcessID]uint64) []byte {
+	keys := make([]ProcessID, 0, len(vec))
+	for k := range vec {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	b = wire.AppendU16(b, uint16(len(keys)))
+	for _, k := range keys {
+		b = wire.AppendString(b, string(k))
+		b = wire.AppendU64(b, vec[k])
+	}
+	return b
+}
+
+func readVec(r *wire.Reader) map[ProcessID]uint64 {
+	n := int(r.U16())
+	if r.Err() != nil {
+		return nil
+	}
+	vec := make(map[ProcessID]uint64, n)
+	for i := 0; i < n; i++ {
+		k := ProcessID(r.String())
+		v := r.U64()
+		if r.Err() != nil {
+			return nil
+		}
+		vec[k] = v
+	}
+	return vec
+}
+
+func encodeHeartbeat() []byte { return []byte{kindHeartbeat} }
+
+func encodeDirect(payload []byte) []byte {
+	b := make([]byte, 0, 5+len(payload))
+	b = wire.AppendU8(b, kindDirect)
+	return wire.AppendBytes(b, payload)
+}
+
+func encodeAnycast(group string, payload []byte) []byte {
+	b := make([]byte, 0, 16+len(group)+len(payload))
+	b = wire.AppendU8(b, kindAnycast)
+	b = wire.AppendString(b, group)
+	return wire.AppendBytes(b, payload)
+}
+
+func encodeMcast(m *msgMcast) []byte {
+	b := make([]byte, 0, 48+len(m.group)+len(m.payload))
+	b = wire.AppendU8(b, kindMcast)
+	b = wire.AppendString(b, m.group)
+	b = appendViewID(b, m.view)
+	b = wire.AppendString(b, string(m.sender))
+	b = wire.AppendU64(b, m.seq)
+	return wire.AppendBytes(b, m.payload)
+}
+
+func encodeNak(m *msgNak) []byte {
+	b := make([]byte, 0, 64)
+	b = wire.AppendU8(b, kindNak)
+	b = wire.AppendString(b, m.group)
+	b = appendViewID(b, m.view)
+	b = wire.AppendString(b, string(m.sender))
+	b = wire.AppendU64(b, m.from)
+	return wire.AppendU64(b, m.to)
+}
+
+func encodeAckVec(m *msgAckVec) []byte {
+	b := make([]byte, 0, 96)
+	b = wire.AppendU8(b, kindAckVec)
+	b = wire.AppendString(b, m.group)
+	b = appendViewID(b, m.view)
+	b = appendVec(b, m.vec)
+	return appendVec(b, m.contig)
+}
+
+func encodePresence(m *msgPresence) []byte {
+	b := make([]byte, 0, 64)
+	b = wire.AppendU8(b, kindPresence)
+	b = wire.AppendString(b, m.group)
+	b = appendViewID(b, m.view)
+	return appendIDs(b, m.members)
+}
+
+func encodePropose(m *msgPropose) []byte {
+	b := make([]byte, 0, 64)
+	b = wire.AppendU8(b, kindPropose)
+	b = wire.AppendString(b, m.group)
+	b = appendPID(b, m.pid)
+	return appendIDs(b, m.candidates)
+}
+
+func encodeSyncInfo(m *msgSyncInfo) []byte {
+	b := make([]byte, 0, 128)
+	b = wire.AppendU8(b, kindSyncInfo)
+	b = wire.AppendString(b, m.group)
+	b = appendPID(b, m.pid)
+	b = appendViewID(b, m.oldView)
+	b = appendIDs(b, m.oldMembers)
+	b = wire.AppendU64(b, m.sendSeq)
+	return appendVec(b, m.recvNext)
+}
+
+func encodeCut(m *msgCut) []byte {
+	b := make([]byte, 0, 64)
+	b = wire.AppendU8(b, kindCut)
+	b = wire.AppendString(b, m.group)
+	b = appendPID(b, m.pid)
+	return appendVec(b, m.targets)
+}
+
+func encodeCutDone(m *msgCutDone) []byte {
+	b := make([]byte, 0, 32)
+	b = wire.AppendU8(b, kindCutDone)
+	b = wire.AppendString(b, m.group)
+	return appendPID(b, m.pid)
+}
+
+func encodeInstall(m *msgInstall) []byte {
+	b := make([]byte, 0, 64)
+	b = wire.AppendU8(b, kindInstall)
+	b = wire.AppendString(b, m.group)
+	b = appendPID(b, m.pid)
+	b = appendViewID(b, m.view)
+	return appendIDs(b, m.members)
+}
+
+func encodeLeave(m *msgLeave) []byte {
+	b := make([]byte, 0, 32)
+	b = wire.AppendU8(b, kindLeave)
+	return wire.AppendString(b, m.group)
+}
+
+func encodeAgreedReq(m *msgAgreedReq) []byte {
+	b := make([]byte, 0, 32+len(m.group)+len(m.payload))
+	b = wire.AppendU8(b, kindAgreedReq)
+	b = wire.AppendString(b, m.group)
+	b = wire.AppendU64(b, m.seq)
+	return wire.AppendBytes(b, m.payload)
+}
+
+// decodeMessage parses any GCS datagram. It returns an error for malformed
+// input; callers drop such datagrams silently.
+func decodeMessage(buf []byte) (any, error) {
+	r := wire.NewReader(buf)
+	kind := r.U8()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	var m any
+	switch kind {
+	case kindHeartbeat:
+		m = &msgHeartbeat{}
+	case kindDirect:
+		m = &msgDirect{payload: r.Bytes()}
+	case kindAnycast:
+		m = &msgAnycast{group: r.String(), payload: r.Bytes()}
+	case kindMcast:
+		m = &msgMcast{
+			group:   r.String(),
+			view:    readViewID(r),
+			sender:  ProcessID(r.String()),
+			seq:     r.U64(),
+			payload: r.Bytes(),
+		}
+	case kindNak:
+		m = &msgNak{
+			group:  r.String(),
+			view:   readViewID(r),
+			sender: ProcessID(r.String()),
+			from:   r.U64(),
+			to:     r.U64(),
+		}
+	case kindAckVec:
+		m = &msgAckVec{group: r.String(), view: readViewID(r), vec: readVec(r), contig: readVec(r)}
+	case kindPresence:
+		m = &msgPresence{group: r.String(), view: readViewID(r), members: readIDs(r)}
+	case kindPropose:
+		m = &msgPropose{group: r.String(), pid: readPID(r), candidates: readIDs(r)}
+	case kindSyncInfo:
+		m = &msgSyncInfo{
+			group:      r.String(),
+			pid:        readPID(r),
+			oldView:    readViewID(r),
+			oldMembers: readIDs(r),
+			sendSeq:    r.U64(),
+			recvNext:   readVec(r),
+		}
+	case kindCut:
+		m = &msgCut{group: r.String(), pid: readPID(r), targets: readVec(r)}
+	case kindCutDone:
+		m = &msgCutDone{group: r.String(), pid: readPID(r)}
+	case kindInstall:
+		m = &msgInstall{group: r.String(), pid: readPID(r), view: readViewID(r), members: readIDs(r)}
+	case kindLeave:
+		m = &msgLeave{group: r.String()}
+	case kindAgreedReq:
+		m = &msgAgreedReq{group: r.String(), seq: r.U64(), payload: r.Bytes()}
+	default:
+		return nil, fmt.Errorf("gcs: unknown message kind %d", kind)
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

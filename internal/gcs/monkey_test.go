@@ -1,0 +1,174 @@
+package gcs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/transport"
+)
+
+// TestMonkey drives the GCS with randomized operation schedules — crashes,
+// joins of fresh processes, partitions and heals, and a steady multicast
+// load under packet loss — and then checks the protocol invariants:
+//
+//  1. view agreement: any two processes that ever install the same ViewID
+//     have identical memberships;
+//  2. per-sender FIFO: each receiver sees each sender's payloads in send
+//     order (the senders embed a sequence number in the payload);
+//  3. no duplicates: no receiver delivers the same payload twice;
+//  4. convergence: after the chaos stops and the network heals, all live
+//     processes end in one common view and a fresh multicast reaches all.
+func TestMonkey(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) { monkeyRun(t, seed) })
+	}
+}
+
+// monkeyRun executes one randomized schedule; extracted so deeper fuzzing
+// runs can sweep many more seeds.
+func monkeyRun(t *testing.T, seed int64) {
+	{
+		{
+			rng := rand.New(rand.NewSource(seed))
+			prof := netsim.LAN()
+			prof.Loss = float64(rng.Intn(4)) / 100
+			c := newCluster(t, seed, prof)
+
+			alive := map[ProcessID]bool{}
+			spawn := func(id ProcessID, contacts ...ProcessID) {
+				c.join(id, "g", contacts...)
+				alive[id] = true
+			}
+			spawn("p0")
+			spawn("p1", "p0")
+			spawn("p2", "p0")
+			c.settle(2 * time.Second)
+
+			liveIDs := func() []ProcessID {
+				var out []ProcessID
+				for id, ok := range alive {
+					if ok {
+						out = append(out, id)
+					}
+				}
+				sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+				return out
+			}
+
+			sent := map[ProcessID]int{} // per-sender payload counter
+			nextID := 3
+			partitioned := false
+
+			for step := 0; step < 30; step++ {
+				c.settle(time.Duration(100+rng.Intn(400)) * time.Millisecond)
+				switch op := rng.Intn(10); {
+				case op < 4: // multicast a numbered payload from a live member
+					senders := liveIDs()
+					if len(senders) == 0 {
+						continue
+					}
+					sender := senders[rng.Intn(len(senders))]
+					n := sent[sender]
+					sent[sender] = n + 1
+					_ = c.mem[sender].Multicast([]byte(fmt.Sprintf("%s/%06d", sender, n)))
+				case op < 6: // crash someone (but never the last process)
+					victims := liveIDs()
+					if len(victims) <= 1 {
+						continue
+					}
+					v := victims[rng.Intn(len(victims))]
+					alive[v] = false
+					c.net.Crash(transport.Addr(v))
+				case op < 8: // join a brand-new process via any live contact
+					contacts := liveIDs()
+					if len(contacts) == 0 {
+						continue
+					}
+					id := ProcessID(fmt.Sprintf("p%d", nextID))
+					nextID++
+					spawn(id, contacts...)
+				case op < 9 && !partitioned: // partition the live set in two
+					var live []transport.Addr
+					for _, id := range liveIDs() {
+						live = append(live, transport.Addr(id))
+					}
+					if len(live) < 2 {
+						continue
+					}
+					cut := 1 + rng.Intn(len(live)-1)
+					c.net.Partition(live[:cut], live[cut:])
+					partitioned = true
+				default:
+					if partitioned {
+						c.net.Heal()
+						partitioned = false
+					}
+				}
+			}
+			c.net.Heal()
+			c.settle(8 * time.Second) // converge
+
+			// Invariant 1: view agreement across all processes, all time.
+			byID := map[ViewID]string{}
+			for id := range alive {
+				rec := c.rec[id]
+				rec.mu.Lock()
+				views := append([]View(nil), rec.views...)
+				rec.mu.Unlock()
+				for _, v := range views {
+					key := fmt.Sprint(v.Members)
+					if prev, ok := byID[v.ID]; ok && prev != key {
+						t.Fatalf("view %v: %s vs %s", v.ID, prev, key)
+					}
+					byID[v.ID] = key
+				}
+			}
+
+			// Invariants 2+3: per-sender order without duplicates.
+			for id, ok := range alive {
+				if !ok {
+					continue
+				}
+				lastSeen := map[string]int{}
+				for _, m := range c.rec[id].messages() {
+					var sender string
+					var n int
+					if _, err := fmt.Sscanf(m.data, "%6s/%06d", &sender, &n); err != nil {
+						// Sender names vary in length; split manually.
+						for i := range m.data {
+							if m.data[i] == '/' {
+								sender = m.data[:i]
+								fmt.Sscanf(m.data[i+1:], "%06d", &n)
+								break
+							}
+						}
+					}
+					if prev, seen := lastSeen[sender]; seen && n <= prev {
+						t.Fatalf("%s: sender %s delivered %d after %d (dup or reorder)", id, sender, n, prev)
+					}
+					lastSeen[sender] = n
+				}
+			}
+
+			// Invariant 4: the live processes converge and traffic flows.
+			live := liveIDs()
+			c.waitConverged(60*time.Second, live...)
+			probe := fmt.Sprintf("probe/%06d", 999999)
+			if err := c.mem[live[0]].Multicast([]byte(probe)); err != nil {
+				t.Fatal(err)
+			}
+			c.settle(2 * time.Second)
+			for _, id := range live {
+				msgs := c.rec[id].messages()
+				if len(msgs) == 0 || msgs[len(msgs)-1].data != probe {
+					t.Fatalf("%s did not deliver the post-chaos probe", id)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package gcs
+
+// Safe delivery — the fourth Transis service: a safe message is delivered
+// only once every member of the current view is known to have RECEIVED it,
+// so an application acting on a safe message knows no membership subset
+// can exist that never saw it (Transis calls this "safe"; ISIS "stable").
+//
+// Receipt (not delivery) is what must be acknowledged — acknowledging
+// delivery would deadlock, since everyone would hold the message waiting
+// for everyone else to deliver it first. The periodic ack gossip therefore
+// carries a second vector: the received-contiguous watermark (the FIFO
+// prefix present in the pending/retained stores, delivered or not).
+//
+// A safe message at the head of a sender's FIFO stream blocks that stream,
+// exactly as the semantics require: later messages from the same sender
+// are ordered after it. During a view-change flush the gate is waived for
+// messages inside the agreed cut — the cut itself proves that every
+// surviving member received them.
+
+// MulticastSafe reliably multicasts payload with safe delivery.
+func (m *Member) MulticastSafe(payload []byte) error {
+	body := append([]byte(nil), payload...)
+	m.p.mu.Lock()
+	if !m.active {
+		m.p.mu.Unlock()
+		return ErrClosed
+	}
+	data := make([]byte, 0, len(body)+1)
+	data = append(data, payloadSafe)
+	data = append(data, body...)
+	if m.status != statusNormal {
+		m.sendQueue = append(m.sendQueue, data)
+		m.p.mu.Unlock()
+		return nil
+	}
+	var cb callbacks
+	m.multicastWrappedLocked(data, &cb)
+	m.p.mu.Unlock()
+	cb.run()
+	return nil
+}
+
+// safeReadyLocked reports whether the in-order head message data from
+// sender may be delivered with respect to the safe gate. Caller holds
+// p.mu.
+func (m *Member) safeReadyLocked(sender ProcessID, seq uint64, data []byte) bool {
+	if len(data) == 0 || data[0] != payloadSafe {
+		return true
+	}
+	if m.status == statusFlushing {
+		return true // inside the cut: the flush proves universal receipt
+	}
+	for _, member := range m.view.Members {
+		if member == m.p.id {
+			continue // we received it — we are holding it
+		}
+		vec := m.ms.peerContig[member]
+		if vec == nil || vec[sender] <= seq {
+			return false
+		}
+	}
+	return true
+}
+
+// contigForLocked computes this member's received-contiguous watermark for
+// one sender: the delivered prefix plus the run of consecutively parked
+// messages after it. Caller holds p.mu.
+func (m *Member) contigForLocked(sender ProcessID) uint64 {
+	next := m.ms.recvNext[sender]
+	pend := m.ms.pending[sender]
+	for {
+		if _, ok := pend[next]; !ok {
+			return next
+		}
+		next++
+	}
+}
+
+// contigLocked computes the watermark for every sender. Caller holds p.mu.
+func (m *Member) contigLocked() map[ProcessID]uint64 {
+	out := make(map[ProcessID]uint64, len(m.view.Members))
+	for _, sender := range m.view.Members {
+		out[sender] = m.contigForLocked(sender)
+	}
+	return out
+}

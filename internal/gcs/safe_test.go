@@ -1,0 +1,158 @@
+package gcs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+func TestSafeDeliversEverywhere(t *testing.T) {
+	c := agreedCluster(t, 3, 7, netsim.LAN())
+	for i := 0; i < 10; i++ {
+		if err := c.mem["p0"].MulticastSafe([]byte(fmt.Sprintf("s%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.settle(2 * time.Second)
+	for _, id := range []ProcessID{"p0", "p1", "p2"} {
+		got := agreedOf(c, id)
+		if len(got) != 10 {
+			t.Fatalf("%s delivered %d/10 safe messages", id, len(got))
+		}
+		for i, d := range got {
+			if want := fmt.Sprintf("s%02d", i); d != want {
+				t.Fatalf("%s order: %v", id, got)
+			}
+		}
+	}
+}
+
+// TestSafeWaitsForUniversalReceipt: while one member is unreachable (but
+// not yet excluded), nobody — including the sender — delivers the safe
+// message; once the link heals and receipt is acknowledged, all deliver.
+func TestSafeWaitsForUniversalReceipt(t *testing.T) {
+	c := agreedCluster(t, 3, 8, netsim.LAN())
+
+	// Cut p2 off from p0 only; p2 still heartbeats p1, and suspicion takes
+	// 500ms — the message is sent into that window.
+	c.net.SetLinkDown("p0", "p2", true)
+	if err := c.mem["p0"].MulticastSafe([]byte("precious")); err != nil {
+		t.Fatal(err)
+	}
+	c.settle(300 * time.Millisecond) // under the suspicion timeout
+
+	for _, id := range []ProcessID{"p0", "p1"} {
+		for _, m := range c.rec[id].messages() {
+			if m.data == "precious" {
+				t.Fatalf("%s delivered a safe message before universal receipt", id)
+			}
+		}
+	}
+
+	c.net.SetLinkDown("p0", "p2", false)
+	c.settle(2 * time.Second)
+	for _, id := range []ProcessID{"p0", "p1", "p2"} {
+		found := false
+		for _, m := range c.rec[id].messages() {
+			if m.data == "precious" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s never delivered the safe message after the heal", id)
+		}
+	}
+}
+
+// TestSafeUnblocksWhenReceiverExcluded: if the unreachable member is
+// excluded by a view change instead, the flush delivers the safe message
+// to the surviving view (receipt is then universal among survivors).
+func TestSafeUnblocksWhenReceiverExcluded(t *testing.T) {
+	c := agreedCluster(t, 3, 9, netsim.LAN())
+	c.net.Crash("p2")
+	c.settle(50 * time.Millisecond) // crashed but not yet suspected
+	if err := c.mem["p0"].MulticastSafe([]byte("survivor-safe")); err != nil {
+		t.Fatal(err)
+	}
+	c.settle(200 * time.Millisecond)
+	for _, id := range []ProcessID{"p0", "p1"} {
+		for _, m := range c.rec[id].messages() {
+			if m.data == "survivor-safe" {
+				t.Fatalf("%s delivered before exclusion or receipt", id)
+			}
+		}
+	}
+	c.waitConverged(5*time.Second, "p0", "p1")
+	c.settle(time.Second)
+	for _, id := range []ProcessID{"p0", "p1"} {
+		found := false
+		for _, m := range c.rec[id].messages() {
+			if m.data == "survivor-safe" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s never delivered the safe message after the view change", id)
+		}
+	}
+}
+
+// TestSafeOrdersSubsequentTraffic: a safe message blocks later messages
+// from the same sender until it clears — FIFO holds across the gate.
+func TestSafeOrdersSubsequentTraffic(t *testing.T) {
+	c := agreedCluster(t, 3, 10, netsim.LAN())
+	if err := c.mem["p0"].MulticastSafe([]byte("first-safe")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.mem["p0"].Multicast([]byte("second-plain")); err != nil {
+		t.Fatal(err)
+	}
+	c.settle(2 * time.Second)
+	for _, id := range []ProcessID{"p0", "p1", "p2"} {
+		got := agreedOf(c, id)
+		if len(got) != 2 || got[0] != "first-safe" || got[1] != "second-plain" {
+			t.Fatalf("%s delivered %v, want [first-safe second-plain]", id, got)
+		}
+	}
+}
+
+func TestSafeSingletonDeliversImmediately(t *testing.T) {
+	c := newCluster(t, 11, netsim.LAN())
+	c.join("solo", "g")
+	if err := c.mem["solo"].MulticastSafe([]byte("alone")); err != nil {
+		t.Fatal(err)
+	}
+	c.settle(time.Second)
+	got := agreedOf(c, "solo")
+	if len(got) != 1 || got[0] != "alone" {
+		t.Fatalf("singleton safe delivery: %v", got)
+	}
+}
+
+func TestSafeUnderLoss(t *testing.T) {
+	prof := netsim.LAN()
+	prof.Loss = 0.08
+	c := agreedCluster(t, 3, 12, prof)
+	for i := 0; i < 15; i++ {
+		if err := c.mem["p1"].MulticastSafe([]byte(fmt.Sprintf("s%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+		c.settle(20 * time.Millisecond)
+	}
+	c.settle(5 * time.Second)
+	for _, id := range []ProcessID{"p0", "p1", "p2"} {
+		if got := len(agreedOf(c, id)); got != 15 {
+			t.Fatalf("%s delivered %d/15 safe messages under loss", id, got)
+		}
+	}
+}
+
+func TestSafeOnClosedMember(t *testing.T) {
+	c := agreedCluster(t, 2, 13, netsim.LAN())
+	c.proc["p1"].Close()
+	if err := c.mem["p1"].MulticastSafe([]byte("x")); err != ErrClosed {
+		t.Fatalf("MulticastSafe after Close = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package metrics provides the time-series collection the experiment
+// harness uses to regenerate the paper's figures: each figure is one or
+// more named series sampled on the simulation clock.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Series is a named time series: (elapsed time, value) samples in
+// append order.
+type Series struct {
+	Name   string
+	Times  []time.Duration
+	Values []float64
+}
+
+// NewSeries returns an empty series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends a sample.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Last returns the final value, or 0 for an empty series.
+func (s *Series) Last() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// At returns the value of the latest sample at or before t (0 if none).
+func (s *Series) At(t time.Duration) float64 {
+	v := 0.0
+	for i, st := range s.Times {
+		if st > t {
+			break
+		}
+		v = s.Values[i]
+	}
+	return v
+}
+
+// Max returns the largest value (0 for an empty series).
+func (s *Series) Max() float64 {
+	max := math.Inf(-1)
+	for _, v := range s.Values {
+		if v > max {
+			max = v
+		}
+	}
+	if math.IsInf(max, -1) {
+		return 0
+	}
+	return max
+}
+
+// Min returns the smallest value (0 for an empty series).
+func (s *Series) Min() float64 {
+	min := math.Inf(1)
+	for _, v := range s.Values {
+		if v < min {
+			min = v
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// MeanBetween averages the samples with from ≤ t < to; 0 if none.
+func (s *Series) MeanBetween(from, to time.Duration) float64 {
+	sum, n := 0.0, 0
+	for i, t := range s.Times {
+		if t >= from && t < to {
+			sum += s.Values[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MinBetween returns the smallest sample with from ≤ t < to (0 if none).
+func (s *Series) MinBetween(from, to time.Duration) float64 {
+	min := math.Inf(1)
+	for i, t := range s.Times {
+		if t >= from && t < to && s.Values[i] < min {
+			min = s.Values[i]
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// MaxBetween returns the largest sample with from ≤ t < to (0 if none).
+func (s *Series) MaxBetween(from, to time.Duration) float64 {
+	max := math.Inf(-1)
+	for i, t := range s.Times {
+		if t >= from && t < to && s.Values[i] > max {
+			max = s.Values[i]
+		}
+	}
+	if math.IsInf(max, -1) {
+		return 0
+	}
+	return max
+}
+
+// Delta returns Last − At(from): the growth of a cumulative series after
+// the given instant.
+func (s *Series) Delta(from time.Duration) float64 { return s.Last() - s.At(from) }
+
+// WriteTSV writes "seconds<TAB>value" rows — the format vodbench prints so
+// each figure can be re-plotted.
+func (s *Series) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", s.Name); err != nil {
+		return err
+	}
+	for i := range s.Times {
+		if _, err := fmt.Fprintf(w, "%.2f\t%g\n", s.Times[i].Seconds(), s.Values[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleSeries() *Series {
+	s := NewSeries("test")
+	s.Add(1*time.Second, 10)
+	s.Add(2*time.Second, 30)
+	s.Add(3*time.Second, 20)
+	s.Add(4*time.Second, 40)
+	return s
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := sampleSeries()
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Last(); got != 40 {
+		t.Fatalf("Last = %v", got)
+	}
+	if got := s.Max(); got != 40 {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := s.Min(); got != 10 {
+		t.Fatalf("Min = %v", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries("empty")
+	if s.Last() != 0 || s.Max() != 0 || s.Min() != 0 || s.At(time.Second) != 0 {
+		t.Fatal("empty series accessors must return 0")
+	}
+	if s.MeanBetween(0, time.Hour) != 0 {
+		t.Fatal("MeanBetween on empty series")
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	s := sampleSeries()
+	tests := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{500 * time.Millisecond, 0}, // before first sample
+		{1 * time.Second, 10},
+		{1500 * time.Millisecond, 10},
+		{2 * time.Second, 30},
+		{10 * time.Second, 40},
+	}
+	for _, tt := range tests {
+		if got := s.At(tt.at); got != tt.want {
+			t.Errorf("At(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestSeriesWindows(t *testing.T) {
+	s := sampleSeries()
+	if got := s.MeanBetween(1*time.Second, 3*time.Second); got != 20 { // (10+30)/2
+		t.Fatalf("MeanBetween = %v", got)
+	}
+	if got := s.MinBetween(2*time.Second, 5*time.Second); got != 20 {
+		t.Fatalf("MinBetween = %v", got)
+	}
+	if got := s.MaxBetween(1*time.Second, 4*time.Second); got != 30 {
+		t.Fatalf("MaxBetween = %v", got)
+	}
+	if got := s.MinBetween(10*time.Second, 20*time.Second); got != 0 {
+		t.Fatalf("MinBetween empty window = %v", got)
+	}
+}
+
+func TestSeriesDelta(t *testing.T) {
+	s := sampleSeries()
+	if got := s.Delta(2 * time.Second); got != 10 { // 40 − 30
+		t.Fatalf("Delta = %v", got)
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	s := sampleSeries()
+	var sb strings.Builder
+	if err := s.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "# test\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5", len(lines))
+	}
+	if lines[1] != "1.00\t10" {
+		t.Fatalf("first row = %q", lines[1])
+	}
+}
+
+func TestNegativeValues(t *testing.T) {
+	s := NewSeries("neg")
+	s.Add(time.Second, -5)
+	s.Add(2*time.Second, -1)
+	if s.Max() != -1 || s.Min() != -5 {
+		t.Fatalf("Max/Min with negatives: %v/%v", s.Max(), s.Min())
+	}
+}

@@ -1,0 +1,81 @@
+package mpeg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/wire"
+)
+
+// Movie file format: how the synthetic movies are stored on server disks,
+// standing in for the paper's MPEG files ("new movies can be added on the
+// fly by storing them on machines where servers are running", §7). Only
+// the stream structure is stored — frame classes and sizes — because the
+// synthetic payload bytes are a deterministic function of the frame index.
+//
+//	magic "VODM" | version u8 | id string | fps u16 |
+//	frame count u32 | count × (class u8, size u32)
+
+const fileMagic = "VODM"
+
+const fileVersion = 1
+
+// WriteTo serializes the movie. It implements io.WriterTo.
+func (m *Movie) WriteTo(w io.Writer) (int64, error) {
+	buf := make([]byte, 0, 16+5*len(m.frames))
+	buf = append(buf, fileMagic...)
+	buf = wire.AppendU8(buf, fileVersion)
+	buf = wire.AppendString(buf, m.id)
+	buf = wire.AppendU16(buf, uint16(m.fps))
+	buf = wire.AppendU32(buf, uint32(len(m.frames)))
+	for _, f := range m.frames {
+		buf = wire.AppendU8(buf, uint8(f.Class))
+		buf = wire.AppendU32(buf, uint32(f.Size))
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// ReadFrom deserializes a movie written by WriteTo.
+func ReadFrom(r io.Reader) (*Movie, error) {
+	data, err := io.ReadAll(bufio.NewReader(r))
+	if err != nil {
+		return nil, fmt.Errorf("mpeg: reading movie: %w", err)
+	}
+	if len(data) < len(fileMagic) || string(data[:len(fileMagic)]) != fileMagic {
+		return nil, fmt.Errorf("mpeg: not a movie file (bad magic)")
+	}
+	rd := wire.NewReader(data[len(fileMagic):])
+	if v := rd.U8(); v != fileVersion {
+		return nil, fmt.Errorf("mpeg: unsupported movie file version %d", v)
+	}
+	m := &Movie{
+		id:  rd.String(),
+		fps: int(rd.U16()),
+	}
+	n := int(rd.U32())
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("mpeg: corrupt movie header: %w", err)
+	}
+	if m.id == "" || m.fps <= 0 || n <= 0 || n > 1<<26 {
+		return nil, fmt.Errorf("mpeg: implausible movie header (id=%q fps=%d frames=%d)", m.id, m.fps, n)
+	}
+	m.frames = make([]FrameInfo, 0, n)
+	for i := 0; i < n; i++ {
+		class := wire.FrameClass(rd.U8())
+		size := int(rd.U32())
+		if rd.Err() != nil {
+			return nil, fmt.Errorf("mpeg: corrupt frame table at %d: %w", i, rd.Err())
+		}
+		if class < wire.FrameI || class > wire.FrameB || size <= 0 || size > 1<<20 {
+			return nil, fmt.Errorf("mpeg: implausible frame %d (class=%d size=%d)", i, class, size)
+		}
+		m.frames = append(m.frames, FrameInfo{Class: class, Size: size})
+		m.total += int64(size)
+	}
+	if err := rd.Done(); err != nil {
+		return nil, fmt.Errorf("mpeg: trailing data: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,206 @@
+// Package mpeg models MPEG-1 video streams as the paper's VoD service sees
+// them: a sequence of typed frames (I/P/B) with realistic sizes, transmitted
+// one frame per message. No pixel data is involved — every quantity the
+// paper's evaluation measures (frames skipped, frames late, buffer
+// occupancies in frames and bytes) depends only on frame timing, sizes and
+// types, which this model reproduces.
+//
+// This substitutes for the paper's real MPEG movies and Optibase hardware
+// decoders (see DESIGN.md, substitution 2).
+package mpeg
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// FrameInfo describes one frame of a movie.
+type FrameInfo struct {
+	Class wire.FrameClass
+	Size  int // bytes on the wire
+}
+
+// StreamConfig parameterizes synthetic movie generation. The defaults
+// reproduce the paper's test stream: a 1.4 Mbps, 30 frames/s MPEG movie.
+type StreamConfig struct {
+	// Duration of the movie (default 90s, enough for the paper's
+	// evaluation scenarios).
+	Duration time.Duration
+	// FPS is the nominal display rate (default 30).
+	FPS int
+	// BitRate is the mean stream rate in bits/s (default 1.4e6).
+	BitRate int64
+	// GOPSize is the group-of-pictures length (default 12: IBBPBBPBBPBB).
+	GOPSize int
+	// Seed drives the per-frame size variation.
+	Seed int64
+}
+
+func (c *StreamConfig) fillDefaults() {
+	if c.Duration <= 0 {
+		c.Duration = 90 * time.Second
+	}
+	if c.FPS <= 0 {
+		c.FPS = 30
+	}
+	if c.BitRate <= 0 {
+		c.BitRate = 1_400_000
+	}
+	if c.GOPSize <= 0 {
+		c.GOPSize = 12
+	}
+}
+
+// Movie is an immutable synthetic MPEG stream. Safe for concurrent use.
+type Movie struct {
+	id     string
+	fps    int
+	frames []FrameInfo
+	total  int64 // sum of frame sizes
+}
+
+// Generate synthesizes a movie with the given ID and stream parameters.
+//
+// The GOP structure follows MPEG-1 practice with M=3: an I frame, then
+// P frames every third slot with B frames between (IBBPBBPBB...). Frame
+// sizes use the usual compression ratios (I ≈ 4x, P ≈ 2x, B ≈ 0.7x the
+// base unit) scaled so the stream hits the configured mean bit rate, with
+// ±10% deterministic per-frame variation.
+func Generate(id string, cfg StreamConfig) *Movie {
+	cfg.fillDefaults()
+	n := int(cfg.Duration.Seconds() * float64(cfg.FPS))
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Weights per GOP position; the base unit is solved from the target
+	// mean frame size.
+	weightOf := func(class wire.FrameClass) float64 {
+		switch class {
+		case wire.FrameI:
+			return 4.0
+		case wire.FrameP:
+			return 2.0
+		default:
+			return 0.7
+		}
+	}
+	var weightSum float64
+	for i := 0; i < cfg.GOPSize; i++ {
+		weightSum += weightOf(classAt(i, cfg.GOPSize))
+	}
+	meanFrame := float64(cfg.BitRate) / 8 / float64(cfg.FPS)
+	unit := meanFrame * float64(cfg.GOPSize) / weightSum
+
+	m := &Movie{id: id, fps: cfg.FPS, frames: make([]FrameInfo, n)}
+	for i := 0; i < n; i++ {
+		class := classAt(i%cfg.GOPSize, cfg.GOPSize)
+		jitter := 0.9 + 0.2*rng.Float64()
+		size := int(unit * weightOf(class) * jitter)
+		if size < 64 {
+			size = 64
+		}
+		m.frames[i] = FrameInfo{Class: class, Size: size}
+		m.total += int64(size)
+	}
+	return m
+}
+
+// classAt returns the frame class at GOP position pos (0-based).
+func classAt(pos, gopSize int) wire.FrameClass {
+	switch {
+	case pos == 0:
+		return wire.FrameI
+	case pos%3 == 0 && pos < gopSize:
+		return wire.FrameP
+	default:
+		return wire.FrameB
+	}
+}
+
+// ID returns the movie identifier.
+func (m *Movie) ID() string { return m.id }
+
+// FPS returns the nominal display rate.
+func (m *Movie) FPS() int { return m.fps }
+
+// TotalFrames returns the number of frames in the movie.
+func (m *Movie) TotalFrames() int { return len(m.frames) }
+
+// Duration returns the playing time at the nominal rate.
+func (m *Movie) Duration() time.Duration {
+	return time.Duration(len(m.frames)) * time.Second / time.Duration(m.fps)
+}
+
+// TotalBytes returns the movie's size on the wire.
+func (m *Movie) TotalBytes() int64 { return m.total }
+
+// MeanBitRate returns the stream's mean rate in bits/s.
+func (m *Movie) MeanBitRate() int64 {
+	if len(m.frames) == 0 {
+		return 0
+	}
+	return m.total * 8 * int64(m.fps) / int64(len(m.frames))
+}
+
+// Frame returns the metadata of frame i. It panics on out-of-range i, which
+// is always a caller bug (offsets are validated at the protocol layer).
+func (m *Movie) Frame(i int) FrameInfo {
+	return m.frames[i]
+}
+
+// FrameData materializes the synthetic payload of frame i: a deterministic
+// byte pattern of the frame's exact size, carrying the frame index in its
+// first bytes so tests can verify end-to-end integrity.
+func (m *Movie) FrameData(i int) []byte {
+	info := m.frames[i]
+	data := make([]byte, info.Size)
+	data[0] = byte(info.Class)
+	if info.Size >= 5 {
+		data[1] = byte(i >> 24)
+		data[2] = byte(i >> 16)
+		data[3] = byte(i >> 8)
+		data[4] = byte(i)
+	}
+	for j := 5; j < len(data); j++ {
+		data[j] = byte(i + j)
+	}
+	return data
+}
+
+// PrevIFrame returns the largest I-frame index ≤ i. Random access lands on
+// I frames because incremental frames cannot be decoded without them.
+func (m *Movie) PrevIFrame(i int) int {
+	if i >= len(m.frames) {
+		i = len(m.frames) - 1
+	}
+	for ; i > 0; i-- {
+		if m.frames[i].Class == wire.FrameI {
+			return i
+		}
+	}
+	return 0
+}
+
+// NextIFrame returns the smallest I-frame index ≥ i, or -1 if none remains.
+func (m *Movie) NextIFrame(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	for ; i < len(m.frames); i++ {
+		if m.frames[i].Class == wire.FrameI {
+			return i
+		}
+	}
+	return -1
+}
+
+// String implements fmt.Stringer.
+func (m *Movie) String() string {
+	return fmt.Sprintf("movie %s: %d frames, %v, %d kbit/s",
+		m.id, len(m.frames), m.Duration(), m.MeanBitRate()/1000)
+}

@@ -1,0 +1,29 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func TestEgressLimitDirect(t *testing.T) {
+	r := newRig(t, Profile{})
+	a := r.endpoint(t, "a")
+	b := r.endpoint(t, "b")
+	c := r.endpoint(t, "c")
+	r.net.SetEgressLimit("a", 1000) // 1000 B/s shared
+	var arrivals []time.Duration
+	h := func(transport.Addr, []byte) { arrivals = append(arrivals, r.clk.Now().Sub(simEpoch)) }
+	b.SetHandler(h)
+	c.SetHandler(h)
+	// Two 500-byte packets to different destinations share the NIC:
+	// second arrives at 1s, not 0.5s.
+	payload := make([]byte, 500)
+	_ = a.Send("b", payload)
+	_ = a.Send("c", payload)
+	r.clk.Drain(0)
+	if len(arrivals) != 2 || arrivals[0] != 500*time.Millisecond || arrivals[1] != time.Second {
+		t.Fatalf("arrivals = %v, want [500ms 1s]", arrivals)
+	}
+}

@@ -1,0 +1,367 @@
+// Package netsim is a deterministic packet-level network simulator
+// implementing transport.Network. It reproduces the operative properties of
+// the paper's two testbeds — a 100 Mbps switched-Ethernet LAN and a 7-hop
+// Internet WAN — as configurable per-link profiles: propagation delay,
+// jitter, loss, duplication and bandwidth (serialization delay). Delivery is
+// scheduled on a clock.Clock; with a Virtual clock and a fixed seed, every
+// run is exactly reproducible.
+//
+// The simulator also provides the fault-injection surface the evaluation
+// scenarios need: abrupt node crashes, link failures and network partitions.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/transport"
+)
+
+// Profile describes one direction of a link.
+type Profile struct {
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter). Nonzero jitter
+	// can reorder packets, as on a multi-hop WAN path.
+	Jitter time.Duration
+	// Loss is the independent per-packet drop probability in [0, 1].
+	Loss float64
+	// Duplicate is the per-packet probability of a second delivery.
+	Duplicate float64
+	// Bandwidth is the link rate in bytes per second; packets queue behind
+	// each other for their serialization time. Zero means infinite.
+	Bandwidth int64
+}
+
+// LAN returns the profile used for the paper's Figure 4 testbed: a lightly
+// loaded 100 Mbps switched Ethernet. Sub-millisecond delay, no jitter (so
+// no reordering), no loss — the paper reports "we did not encounter message
+// loss" and "messages do not arrive out of order".
+func LAN() Profile {
+	return Profile{
+		Delay:     200 * time.Microsecond,
+		Bandwidth: 100 * 1000 * 1000 / 8,
+	}
+}
+
+// WAN returns the profile used for the paper's Figure 5 testbed: the 7-hop
+// Internet path between the Hebrew and Tel Aviv Universities, with no QoS
+// reservation — tens of milliseconds of delay, jitter-induced reordering
+// and sporadic loss ("a certain percentage of the messages are lost").
+func WAN() Profile {
+	return Profile{
+		Delay:     20 * time.Millisecond,
+		Jitter:    8 * time.Millisecond,
+		Loss:      0.005,
+		Bandwidth: 10 * 1000 * 1000 / 8,
+	}
+}
+
+// Stats aggregates network-wide counters.
+type Stats struct {
+	Sent      uint64 // packets handed to the network
+	Delivered uint64 // packets delivered to a handler
+	Dropped   uint64 // packets lost (loss, partition, dead node, no handler)
+	Bytes     uint64 // payload bytes delivered
+}
+
+// Network is a simulated transport.Network.
+type Network struct {
+	clk clock.Clock
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	def       Profile
+	overrides map[pair]Profile
+	nodes     map[transport.Addr]*endpoint
+	blocked   map[pair]bool
+	links     map[pair]*linkState
+	egress    map[transport.Addr]int64 // shared NIC rate, bytes/s (0 = none)
+	egressQ   map[transport.Addr]*linkState
+	stats     Stats
+}
+
+var _ transport.Network = (*Network)(nil)
+
+type pair struct{ from, to transport.Addr }
+
+type linkState struct {
+	nextFree time.Time // when the link finishes serializing queued packets
+}
+
+// New creates a network on clk with the given default link profile. All
+// randomness (loss, jitter, duplication) derives from seed.
+func New(clk clock.Clock, seed int64, def Profile) *Network {
+	return &Network{
+		clk:       clk,
+		rng:       rand.New(rand.NewSource(seed)),
+		def:       def,
+		overrides: make(map[pair]Profile),
+		nodes:     make(map[transport.Addr]*endpoint),
+		blocked:   make(map[pair]bool),
+		links:     make(map[pair]*linkState),
+		egress:    make(map[transport.Addr]int64),
+		egressQ:   make(map[transport.Addr]*linkState),
+	}
+}
+
+// SetEgressLimit caps a node's total outbound rate (bytes/s): all packets
+// it sends share one serialization queue, modeling the node's NIC. Per-link
+// bandwidth still applies downstream. Zero removes the cap. This is how a
+// single video server saturates — its uplink, not any one client's path.
+func (n *Network) SetEgressLimit(addr transport.Addr, bytesPerSec int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if bytesPerSec <= 0 {
+		delete(n.egress, addr)
+		return
+	}
+	n.egress[addr] = bytesPerSec
+}
+
+// NewEndpoint implements transport.Network.
+func (n *Network) NewEndpoint(addr transport.Addr) (transport.Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[addr]; ok {
+		return nil, fmt.Errorf("netsim: bind %q: %w", addr, transport.ErrAddrInUse)
+	}
+	ep := &endpoint{net: n, addr: addr}
+	n.nodes[addr] = ep
+	return ep, nil
+}
+
+// SetProfile overrides the profile of the directed link from→to.
+func (n *Network) SetProfile(from, to transport.Addr, p Profile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.overrides[pair{from, to}] = p
+}
+
+// SetDefaultProfile replaces the profile used by links with no override.
+func (n *Network) SetDefaultProfile(p Profile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.def = p
+}
+
+// SetLinkDown blocks (or unblocks) traffic in both directions between a
+// and b. Packets already in flight still arrive, as on a real network.
+func (n *Network) SetLinkDown(a, b transport.Addr, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if down {
+		n.blocked[pair{a, b}] = true
+		n.blocked[pair{b, a}] = true
+	} else {
+		delete(n.blocked, pair{a, b})
+		delete(n.blocked, pair{b, a})
+	}
+}
+
+// Partition blocks all traffic between nodes in different groups. Nodes not
+// listed in any group are unaffected. Partition composes with previously
+// blocked links; use Heal to clear everything.
+func (n *Network) Partition(groups ...[]transport.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := range groups {
+		for j := range groups {
+			if i == j {
+				continue
+			}
+			for _, a := range groups[i] {
+				for _, b := range groups[j] {
+					n.blocked[pair{a, b}] = true
+				}
+			}
+		}
+	}
+}
+
+// Heal removes every link block and partition.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked = make(map[pair]bool)
+}
+
+// Crash makes the node at addr fail-stop: its endpoint is closed, all
+// packets to or from it are dropped, and the address can never be reused.
+// In-flight packets from the node still arrive (they already left the NIC).
+func (n *Network) Crash(addr transport.Addr) {
+	n.mu.Lock()
+	ep := n.nodes[addr]
+	n.mu.Unlock()
+	if ep != nil {
+		_ = ep.Close()
+	}
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// send is called by endpoints with the sender's address already validated.
+func (n *Network) send(from, to transport.Addr, payload []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	n.stats.Sent++
+	if _, ok := n.nodes[to]; !ok {
+		// Sending to an address that never existed is a harness bug;
+		// sending to a crashed node is normal (its entry is kept, closed).
+		n.stats.Dropped++
+		return fmt.Errorf("netsim: send %s→%s: %w", from, to, transport.ErrNoRoute)
+	}
+	if n.blocked[pair{from, to}] {
+		n.stats.Dropped++
+		return nil // silently lost, like a partitioned UDP packet
+	}
+
+	prof, ok := n.overrides[pair{from, to}]
+	if !ok {
+		prof = n.def
+	}
+	if prof.Loss > 0 && n.rng.Float64() < prof.Loss {
+		n.stats.Dropped++
+		return nil
+	}
+
+	// The sender may reuse its buffer after Send returns, as with UDP
+	// (the kernel copies); take our own copy before scheduling delivery.
+	data := make([]byte, len(payload))
+	copy(data, payload)
+
+	deliveries := 1
+	if prof.Duplicate > 0 && n.rng.Float64() < prof.Duplicate {
+		deliveries = 2
+	}
+	for i := 0; i < deliveries; i++ {
+		delay := n.transitTimeLocked(from, to, prof, len(data))
+		n.clk.AfterFunc(delay, func() { n.deliver(from, to, data) })
+	}
+	return nil
+}
+
+// transitTimeLocked computes the packet's total time in the network,
+// accounting for serialization queueing on the directed link.
+func (n *Network) transitTimeLocked(from, to transport.Addr, prof Profile, size int) time.Duration {
+	delay := prof.Delay
+	if prof.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(prof.Jitter)))
+	}
+	if rate := n.egress[from]; rate > 0 {
+		eq := n.egressQ[from]
+		if eq == nil {
+			eq = &linkState{}
+			n.egressQ[from] = eq
+		}
+		now := n.clk.Now()
+		start := now
+		if eq.nextFree.After(start) {
+			start = eq.nextFree
+		}
+		ser := time.Duration(int64(size) * int64(time.Second) / rate)
+		eq.nextFree = start.Add(ser)
+		delay += eq.nextFree.Sub(now)
+	}
+	if prof.Bandwidth > 0 {
+		key := pair{from, to}
+		ls := n.links[key]
+		if ls == nil {
+			ls = &linkState{}
+			n.links[key] = ls
+		}
+		now := n.clk.Now()
+		start := now
+		if ls.nextFree.After(start) {
+			start = ls.nextFree
+		}
+		ser := time.Duration(int64(size) * int64(time.Second) / prof.Bandwidth)
+		ls.nextFree = start.Add(ser)
+		delay += ls.nextFree.Sub(now)
+	}
+	return delay
+}
+
+func (n *Network) deliver(from, to transport.Addr, data []byte) {
+	n.mu.Lock()
+	ep := n.nodes[to]
+	var h transport.Handler
+	if ep != nil && !ep.closed {
+		h = ep.handler
+	}
+	if h == nil {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return
+	}
+	n.stats.Delivered++
+	n.stats.Bytes += uint64(len(data))
+	n.mu.Unlock()
+	h(from, data)
+}
+
+type endpoint struct {
+	net  *Network
+	addr transport.Addr
+
+	// handler and closed are guarded by net.mu: endpoint state changes
+	// must be ordered with packet deliveries, which hold that lock.
+	handler transport.Handler
+	closed  bool
+}
+
+var _ transport.Endpoint = (*endpoint)(nil)
+
+func (e *endpoint) Addr() transport.Addr { return e.addr }
+
+func (e *endpoint) Send(to transport.Addr, payload []byte) error {
+	if len(payload) > transport.MaxDatagram {
+		return fmt.Errorf("netsim: send to %s: %w", to, transport.ErrTooLarge)
+	}
+	e.net.mu.Lock()
+	closed := e.closed
+	e.net.mu.Unlock()
+	if closed {
+		return transport.ErrClosed
+	}
+	return e.net.send(e.addr, to, payload)
+}
+
+func (e *endpoint) SetHandler(h transport.Handler) {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	e.handler = h
+}
+
+func (e *endpoint) Close() error {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	e.closed = true
+	e.handler = nil
+	return nil
+}
+
+// EgressBacklog reports how far ahead of now a node's shared egress queue
+// is booked — the queueing delay the next outbound packet would see.
+func (n *Network) EgressBacklog(addr transport.Addr) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	eq := n.egressQ[addr]
+	if eq == nil {
+		return 0
+	}
+	d := eq.nextFree.Sub(n.clk.Now())
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,129 @@
+package server_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// startLimitedServer brings up a server with an admission limit.
+func (r *rig) startLimitedServer(t *testing.T, id string, maxSessions int) *server.Server {
+	t.Helper()
+	cat := store.NewCatalog()
+	cat.Add(r.movie)
+	s, err := server.New(server.Config{
+		ID:          id,
+		Clock:       r.clk,
+		Network:     r.net,
+		Catalog:     cat,
+		Peers:       r.peers,
+		MaxSessions: maxSessions,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.servers[id] = s
+	return s
+}
+
+// TestAdmissionRedirectsToPeer: a full server refuses the Open and the
+// client lands on the other server.
+func TestAdmissionRedirectsToPeer(t *testing.T) {
+	r := newRig(t, netsim.LAN(), "s1", "s2")
+	r.startLimitedServer(t, "s1", 1)
+	r.startLimitedServer(t, "s2", 1)
+	r.run(2 * time.Second)
+
+	// Both clients contact s1 first; the second must end up on s2.
+	for i := 1; i <= 2; i++ {
+		c := r.startClient(fmt.Sprintf("c%d", i), "s1", "s2")
+		if err := c.Watch("casablanca"); err != nil {
+			t.Fatal(err)
+		}
+		r.run(3 * time.Second)
+	}
+	if n := len(r.servers["s1"].ActiveSessions()); n != 1 {
+		t.Fatalf("s1 sessions = %d, want 1", n)
+	}
+	if n := len(r.servers["s2"].ActiveSessions()); n != 1 {
+		t.Fatalf("s2 sessions = %d, want 1 (admission redirect failed)", n)
+	}
+	for i := 1; i <= 2; i++ {
+		if got := r.clients[fmt.Sprintf("c%d", i)].State(); got != client.StateWatching {
+			t.Fatalf("c%d state = %v", i, got)
+		}
+	}
+}
+
+// TestAdmissionAllFull: when every server is full the client keeps
+// retrying and never reaches watching — no session leaks anywhere.
+func TestAdmissionAllFull(t *testing.T) {
+	r := newRig(t, netsim.LAN(), "s1")
+	r.startLimitedServer(t, "s1", 1)
+	r.run(time.Second)
+
+	c1 := r.startClient("c1", "s1")
+	if err := c1.Watch("casablanca"); err != nil {
+		t.Fatal(err)
+	}
+	r.run(2 * time.Second)
+	c2 := r.startClient("c2", "s1")
+	if err := c2.Watch("casablanca"); err != nil {
+		t.Fatal(err)
+	}
+	r.run(5 * time.Second)
+
+	if got := c2.State(); got != client.StateOpening {
+		t.Fatalf("c2 state = %v, want still opening", got)
+	}
+	if n := len(r.servers["s1"].ActiveSessions()); n != 1 {
+		t.Fatalf("s1 sessions = %d, want 1", n)
+	}
+	// When the first viewer leaves, the retrying client gets in.
+	if err := c1.StopWatching(); err != nil {
+		t.Fatal(err)
+	}
+	r.run(5 * time.Second)
+	if got := c2.State(); got != client.StateWatching {
+		t.Fatalf("c2 state after capacity freed = %v", got)
+	}
+}
+
+// TestAdmissionNeverBlocksTakeover: failover ignores the admission limit —
+// degraded service beats refusing existing viewers.
+func TestAdmissionNeverBlocksTakeover(t *testing.T) {
+	r := newRig(t, netsim.LAN(), "s1", "s2")
+	r.startLimitedServer(t, "s1", 1)
+	r.startLimitedServer(t, "s2", 1)
+	r.run(2 * time.Second)
+
+	for i := 1; i <= 2; i++ {
+		c := r.startClient(fmt.Sprintf("c%d", i), "s1", "s2")
+		if err := c.Watch("casablanca"); err != nil {
+			t.Fatal(err)
+		}
+		r.run(3 * time.Second)
+	}
+	// Kill s1; s2 must adopt both clients despite MaxSessions=1.
+	r.servers["s1"].Stop()
+	r.net.Crash("s1")
+	r.run(5 * time.Second)
+	if n := len(r.servers["s2"].ActiveSessions()); n != 2 {
+		t.Fatalf("survivor sessions = %d, want 2 (takeover must bypass admission)", n)
+	}
+	for i := 1; i <= 2; i++ {
+		before := r.clients[fmt.Sprintf("c%d", i)].Counters().Displayed
+		r.run(3 * time.Second)
+		if got := r.clients[fmt.Sprintf("c%d", i)].Counters().Displayed - before; got < 70 {
+			t.Fatalf("c%d displayed %d frames after takeover", i, got)
+		}
+	}
+}

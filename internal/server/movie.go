@@ -1,0 +1,348 @@
+package server
+
+import (
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/gcs"
+	"repro/internal/mpeg"
+	"repro/internal/wire"
+)
+
+// movieState is this server's view of one movie group (§5.2): the group
+// membership, the knowledge table of every client watching the movie
+// (merged from the periodic state syncs, latest record wins), and the
+// view-change machinery that exchanges knowledge and re-distributes the
+// clients.
+type movieState struct {
+	srv    *Server
+	movie  *mpeg.Movie
+	member *gcs.Member
+
+	view      gcs.View
+	everMulti bool // has been in a multi-member view before
+
+	// clients is the knowledge table: the latest ClientRecord heard for
+	// each client of this movie — including this server's own clients as
+	// of the last periodic sync (deliberately not fresher: takeover
+	// resumes from "the offset ... last heard", §5.2).
+	clients map[string]wire.ClientRecord
+
+	// View-sync exchange state: after a view change, redistribution waits
+	// until every member's knowledge message (or a timeout) arrives.
+	pendingSeq    uint64
+	syncFrom      map[gcs.ProcessID]bool
+	newcomers     map[gcs.ProcessID]bool
+	exchangeTimer clock.Timer
+
+	syncTask *clock.Periodic
+}
+
+// syncTick is the half-second state multicast: this server's live sessions
+// for the movie, refreshed into its own knowledge table and shared with
+// the group.
+func (ms *movieState) syncTick() {
+	s := ms.srv
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	recs := ms.ownRecordsLocked()
+	if len(recs) == 0 {
+		// Nothing to report; an idle server stays silent so the sync
+		// overhead is proportional to the client load, as in the paper.
+		s.mu.Unlock()
+		return
+	}
+	for _, rec := range recs {
+		ms.clients[rec.ClientID] = rec
+	}
+	msg := &wire.ClientState{Server: s.cfg.ID, Clients: recs}
+	pkt := wire.Encode(msg)
+	s.stats.SyncMessages++
+	s.stats.SyncBytes += uint64(len(pkt))
+	member := ms.member
+	s.mu.Unlock()
+
+	if member != nil {
+		_ = member.Multicast(pkt)
+	}
+}
+
+// ownRecordsLocked snapshots the live state of this server's sessions for
+// this movie. Caller holds srv.mu.
+func (ms *movieState) ownRecordsLocked() []wire.ClientRecord {
+	now := ms.srv.cfg.Clock.Now().UnixMilli()
+	var recs []wire.ClientRecord
+	for _, sess := range ms.srv.sessions {
+		if sess.movie.ID() != ms.movie.ID() || sess.closed {
+			continue
+		}
+		rec := sess.rec
+		rec.SentAt = now
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ClientID < recs[j].ClientID })
+	return recs
+}
+
+// noteDepartedLocked records a finished session and announces the
+// tombstone immediately so peers forget the client. Caller holds srv.mu.
+func (ms *movieState) noteDepartedLocked(rec wire.ClientRecord) {
+	delete(ms.clients, rec.ClientID)
+	rec.Departed = true
+	rec.SentAt = ms.srv.cfg.Clock.Now().UnixMilli()
+	pkt := wire.Encode(&wire.ClientState{Server: ms.srv.cfg.ID, Clients: []wire.ClientRecord{rec}})
+	member := ms.member
+	if member != nil {
+		ms.srv.later(func() { _ = member.Multicast(pkt) })
+	}
+}
+
+// onMessage merges a peer's state-sync message into the knowledge table
+// and advances the view-sync exchange.
+func (ms *movieState) onMessage(from gcs.ProcessID, msg *wire.ClientState) {
+	s := ms.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range msg.Clients {
+		ms.resolveDuplicateLocked(from, rec)
+		ms.mergeLocked(rec)
+	}
+	if msg.ViewSeq != 0 && msg.ViewSeq == ms.pendingSeq && ms.syncFrom != nil {
+		ms.syncFrom[from] = true
+		if msg.Newcomer {
+			ms.newcomers[from] = true
+		}
+		for _, id := range ms.view.Members {
+			if !ms.syncFrom[id] {
+				return
+			}
+		}
+		ms.redistributeLocked()
+	}
+}
+
+// resolveDuplicateLocked is the anti-entropy safety net: if a peer's sync
+// shows it actively serving a client this server also serves — possible
+// after failure-detector flaps produce divergent redistributions — exactly
+// one of the two must yield. The higher-ID claimant releases; the lower
+// keeps streaming, so the client is never orphaned. Caller holds srv.mu.
+func (ms *movieState) resolveDuplicateLocked(from gcs.ProcessID, rec wire.ClientRecord) {
+	if rec.Departed || ms.pendingSeq != 0 {
+		return // no conflict, or a redistribution is about to settle ownership
+	}
+	sess := ms.srv.sessions[rec.ClientID]
+	if sess == nil || sess.closed || sess.movie.ID() != ms.movie.ID() {
+		return
+	}
+	if string(from) >= ms.srv.cfg.ID {
+		return // the peer is the one that must yield
+	}
+	// First claim may be a sync the peer sent just before releasing the
+	// client itself; only a repeated claim proves a real duplicate.
+	if sess.conflicts == nil {
+		sess.conflicts = make(map[gcs.ProcessID]bool)
+	}
+	if !sess.conflicts[from] {
+		sess.conflicts[from] = true
+		return
+	}
+	sess.stopLocked()
+	delete(ms.srv.sessions, rec.ClientID)
+	ms.srv.stats.Releases++
+}
+
+// mergeLocked folds one record in, newest SentAt winning. Caller holds
+// srv.mu.
+func (ms *movieState) mergeLocked(rec wire.ClientRecord) {
+	cur, known := ms.clients[rec.ClientID]
+	if known && cur.SentAt > rec.SentAt {
+		return
+	}
+	if rec.Departed {
+		delete(ms.clients, rec.ClientID)
+		return
+	}
+	ms.clients[rec.ClientID] = rec
+}
+
+// onView handles a movie-group membership change: start the knowledge
+// exchange that precedes redistribution.
+func (ms *movieState) onView(v gcs.View) {
+	s := ms.srv
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	// A server is a "newcomer" if this is its first multi-member view and
+	// it arrives with no client knowledge — a fresh server brought up to
+	// alleviate load. Newcomers are dealt clients first in redistribution.
+	newcomer := !ms.everMulti && len(ms.clients) == 0
+	ms.view = v
+	if len(v.Members) > 1 {
+		ms.everMulti = true
+	}
+	ms.pendingSeq = v.ID.Seq
+	ms.syncFrom = map[gcs.ProcessID]bool{}
+	ms.newcomers = map[gcs.ProcessID]bool{}
+	if ms.exchangeTimer != nil {
+		ms.exchangeTimer.Stop()
+	}
+	// The coming redistribution settles ownership; stale conflict
+	// evidence must not linger past it.
+	for _, sess := range s.sessions {
+		if sess.movie.ID() == ms.movie.ID() {
+			sess.conflicts = nil
+		}
+	}
+
+	if len(v.Members) == 1 {
+		// Alone: no exchange needed.
+		ms.syncFrom[v.Members[0]] = true
+		if newcomer {
+			ms.newcomers[v.Members[0]] = true
+		}
+		ms.redistributeLocked()
+		s.mu.Unlock()
+		return
+	}
+
+	recs := ms.ownRecordsLocked()
+	for _, rec := range recs {
+		ms.clients[rec.ClientID] = rec
+	}
+	// The exchange shares the full knowledge table, so a joiner learns
+	// about every client from any single member.
+	all := make([]wire.ClientRecord, 0, len(ms.clients))
+	for _, rec := range ms.clients {
+		all = append(all, rec)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ClientID < all[j].ClientID })
+	msg := &wire.ClientState{
+		Server:   s.cfg.ID,
+		Clients:  all,
+		ViewSeq:  v.ID.Seq,
+		Newcomer: newcomer,
+	}
+	pkt := wire.Encode(msg)
+	s.stats.SyncMessages++
+	s.stats.SyncBytes += uint64(len(pkt))
+	member := ms.member
+	seq := v.ID.Seq
+	ms.exchangeTimer = s.cfg.Clock.AfterFunc(2*s.cfg.SyncInterval, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if ms.pendingSeq == seq && ms.syncFrom != nil {
+			// Proceed with whoever answered; a silent member is likely
+			// dead and the next view change will rebalance again.
+			ms.redistributeLocked()
+		}
+	})
+	s.mu.Unlock()
+
+	if member != nil {
+		_ = member.Multicast(pkt)
+	}
+}
+
+// redistributeLocked deterministically re-assigns every known client of
+// this movie across the current view and acts on the result: taking over
+// clients assigned here and releasing clients assigned elsewhere. All
+// members compute the same assignment from the exchanged knowledge.
+// Caller holds srv.mu.
+func (ms *movieState) redistributeLocked() {
+	s := ms.srv
+	ms.pendingSeq = 0
+	ms.syncFrom = nil
+	if ms.exchangeTimer != nil {
+		ms.exchangeTimer.Stop()
+		ms.exchangeTimer = nil
+	}
+
+	clientIDs := make([]string, 0, len(ms.clients))
+	for id := range ms.clients {
+		clientIDs = append(clientIDs, id)
+	}
+	order := memberOrder(ms.view.Members, ms.newcomers)
+	assignment := Assign(clientIDs, order)
+
+	for id, owner := range assignment {
+		sess := s.sessions[id]
+		mine := sess != nil && !sess.closed && sess.movie.ID() == ms.movie.ID()
+		switch {
+		case owner == gcs.ProcessID(s.cfg.ID) && !mine:
+			rec := ms.clients[id]
+			s.startSessionLocked(rec, ms.movie, true)
+			s.stats.Takeovers++
+		case owner != gcs.ProcessID(s.cfg.ID) && mine:
+			sess.stopLocked()
+			delete(s.sessions, id)
+			s.stats.Releases++
+		}
+	}
+}
+
+// memberOrder places newcomers (fresh, knowledge-less servers) first so
+// they absorb load, then the remaining members; both halves sorted.
+func memberOrder(members []gcs.ProcessID, newcomers map[gcs.ProcessID]bool) []gcs.ProcessID {
+	fresh := make([]gcs.ProcessID, 0, len(members))
+	old := make([]gcs.ProcessID, 0, len(members))
+	for _, m := range members {
+		if newcomers[m] {
+			fresh = append(fresh, m)
+		} else {
+			old = append(old, m)
+		}
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
+	sort.Slice(old, func(i, j int) bool { return old[i] < old[j] })
+	return append(fresh, old...)
+}
+
+// Assign deals the sorted clients round-robin over the member order. It is
+// deterministic in its inputs, so every server derives the same assignment
+// without further agreement (§5.2: each server "deterministically decides
+// which clients it now has to serve").
+func Assign(clients []string, order []gcs.ProcessID) map[string]gcs.ProcessID {
+	out := make(map[string]gcs.ProcessID, len(clients))
+	if len(order) == 0 {
+		return out
+	}
+	sorted := append([]string(nil), clients...)
+	sort.Strings(sorted)
+	for i, c := range sorted {
+		out[c] = order[i%len(order)]
+	}
+	return out
+}
+
+// onMovieGroupMessage decodes and routes a movie-group multicast.
+func (s *Server) onMovieGroupMessage(ms *movieState, from gcs.ProcessID, payload []byte) {
+	msg, err := wire.Decode(payload)
+	if err != nil {
+		return
+	}
+	cs, ok := msg.(*wire.ClientState)
+	if !ok {
+		return
+	}
+	s.later(func() { ms.onMessage(from, cs) })
+}
+
+// SyncNow forces an immediate state sync for every movie group — used when
+// a session just opened so peers learn about the client without waiting
+// half a second.
+func (s *Server) SyncNow() {
+	s.mu.Lock()
+	states := make([]*movieState, 0, len(s.movies))
+	for _, ms := range s.movies {
+		states = append(states, ms)
+	}
+	s.mu.Unlock()
+	for _, ms := range states {
+		ms.syncTick()
+	}
+}

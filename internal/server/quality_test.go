@@ -1,0 +1,76 @@
+package server_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// TestQualityPlaybackSpeed guards against the thinning pacing bug: a
+// quality-reduced stream must advance through the movie at normal movie
+// time (≈30 positions/s), not faster — thinning withholds frames, it does
+// not accelerate playback.
+func TestQualityPlaybackSpeed(t *testing.T) {
+	r := newRig(t, netsim.LAN(), "s1")
+	r.startServer("s1")
+	c := r.startClient("c1", "s1")
+	if err := c.Watch("casablanca"); err != nil {
+		t.Fatal(err)
+	}
+	r.run(5 * time.Second)
+	if err := c.SetQuality(10); err != nil {
+		t.Fatal(err)
+	}
+	r.run(20 * time.Second)
+
+	st := r.servers["s1"].Stats()
+	// In ~20s of 10fps quality the server should transmit ≈ 200 frames
+	// and withhold ≈ 400; at the old bug's 3x speed it would have burned
+	// through far more of the movie.
+	considered := st.FramesSent + st.FramesThinned
+	if considered > 850 {
+		t.Fatalf("server consumed %d movie positions in ~25s; movie playing too fast", considered)
+	}
+	sentDuringQuality := st.FramesSent - 150 // ≈5s full quality before the switch
+	if sentDuringQuality > 350 {
+		t.Fatalf("sent %d frames in 20s of 10fps quality, want ≈ 200–260", sentDuringQuality)
+	}
+	if st.FramesThinned < 250 {
+		t.Fatalf("thinned only %d frames in 20s of 10fps quality", st.FramesThinned)
+	}
+
+	// The client displays smoothly at the reduced rate: ~10 displays/s.
+	cnt := c.Counters()
+	if cnt.Displayed < 250 || cnt.Displayed > 500 {
+		t.Fatalf("displayed %d frames, want ≈ 150 (5s@30) + 200 (20s@10)", cnt.Displayed)
+	}
+	if cnt.MaxStallRun > 15 {
+		t.Fatalf("quality playback froze for %d ticks", cnt.MaxStallRun)
+	}
+}
+
+// TestQualityRestoreResumesFullRate verifies the round trip back to full
+// quality.
+func TestQualityRestoreResumesFullRate(t *testing.T) {
+	r := newRig(t, netsim.LAN(), "s1")
+	r.startServer("s1")
+	c := r.startClient("c1", "s1")
+	if err := c.Watch("casablanca"); err != nil {
+		t.Fatal(err)
+	}
+	r.run(5 * time.Second)
+	if err := c.SetQuality(10); err != nil {
+		t.Fatal(err)
+	}
+	r.run(5 * time.Second)
+	if err := c.SetQuality(30); err != nil {
+		t.Fatal(err)
+	}
+	r.run(time.Second) // control settles
+	before := c.Counters().Displayed
+	r.run(10 * time.Second)
+	if got := c.Counters().Displayed - before; got < 270 {
+		t.Fatalf("displayed %d frames in 10s after quality restore, want ≈ 300", got)
+	}
+}

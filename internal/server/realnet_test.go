@@ -1,0 +1,106 @@
+package server_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/mpeg"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/transport"
+)
+
+type udpNetwork struct{}
+
+func (udpNetwork) NewEndpoint(addr transport.Addr) (transport.Endpoint, error) {
+	return transport.ListenUDP(string(addr), addr)
+}
+
+// TestRealClockUDPFailover runs the whole stack — real clock, real UDP on
+// loopback, no simulation — through a short stream and a crash failover.
+// This is the path the cmd/ binaries use; timer jitter and goroutine
+// scheduling here have historically exposed bugs the virtual clock hides
+// (the duplicate-session anti-entropy, for one). Wall time ≈ 7 s.
+func TestRealClockUDPFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time test; skipped in -short mode")
+	}
+	var (
+		clk     clock.Real
+		network udpNetwork
+		servers = []string{"127.0.0.1:19701", "127.0.0.1:19702"}
+	)
+	movie := mpeg.Generate("short", mpeg.StreamConfig{Duration: 20 * time.Second, Seed: 1})
+
+	running := make(map[string]*server.Server)
+	for _, id := range servers {
+		cat := store.NewCatalog()
+		cat.Add(movie)
+		s, err := server.New(server.Config{
+			ID: id, Clock: clk, Network: network, Catalog: cat, Peers: servers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer s.Stop()
+		running[id] = s
+	}
+	time.Sleep(500 * time.Millisecond)
+
+	c, err := client.New(client.Config{
+		ID: "127.0.0.1:19710", Clock: clk, Network: network, Servers: servers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Watch("short"); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for c.State() != client.StateWatching {
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached watching; state=%v", c.State())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Let the buffers build toward steady state (they need ~10 simulated
+	// seconds to fill; ~6 s gives enough slack to cover the outage).
+	time.Sleep(6 * time.Second)
+
+	// Kill whichever server is streaming.
+	var victim string
+	for id, s := range running {
+		if len(s.ActiveSessions()) > 0 {
+			victim = id
+		}
+	}
+	if victim == "" {
+		t.Fatal("nobody serving")
+	}
+	before := c.Counters().Displayed
+	running[victim].Stop()
+	delete(running, victim)
+
+	time.Sleep(4 * time.Second)
+	after := c.Counters()
+	if after.Displayed-before < 60 {
+		t.Fatalf("displayed only %d frames across a real-network failover", after.Displayed-before)
+	}
+	// Real-clock timer jitter plus the partially-filled buffers allow a
+	// short hiccup; a freeze beyond one second means failover is broken.
+	if after.MaxStallRun > 30 {
+		t.Fatalf("froze for %d ticks (>1s) during real-network failover", after.MaxStallRun)
+	}
+	for _, s := range running {
+		if len(s.ActiveSessions()) != 1 {
+			t.Fatalf("survivor has %d sessions", len(s.ActiveSessions()))
+		}
+	}
+}

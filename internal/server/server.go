@@ -1,0 +1,390 @@
+// Package server implements the paper's VoD server. Each server:
+//
+//   - joins the server group (clients contact the abstract group, §5.1);
+//   - joins one movie group per movie it holds, multicasting its clients'
+//     offsets and rates every half second (§5.2);
+//   - serves each of its clients over a per-client session group (control)
+//     and the unreliable video channel (frames, one per datagram);
+//   - on every movie-group view change, exchanges client knowledge with
+//     the other members and deterministically re-distributes the clients —
+//     taking over clients assigned to it and releasing the rest (§5.2).
+//
+// Takeover resumes "from the offset and transmission rate that were last
+// heard from the previous server": state is at most one sync period stale,
+// so a taking-over server conservatively retransmits up to half a second
+// of video (duplicates preferred over gaps — the paper's Figure 4b).
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/congress"
+	"repro/internal/fetch"
+	"repro/internal/flowctl"
+	"repro/internal/gcs"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Group naming scheme shared by servers and clients.
+const (
+	// ServerGroup is the group of all VoD servers.
+	ServerGroup = "vod.servers"
+	// movieGroupPrefix + movieID names a movie group.
+	movieGroupPrefix = "vod.movie."
+	// sessionGroupPrefix + clientID names a client's session group.
+	sessionGroupPrefix = "vod.session."
+)
+
+// MovieGroup returns the group name for a movie.
+func MovieGroup(movieID string) string { return movieGroupPrefix + movieID }
+
+// SessionGroup returns the group name for a client.
+func SessionGroup(clientID string) string { return sessionGroupPrefix + clientID }
+
+// Config configures a Server.
+type Config struct {
+	// ID is the server's name and transport address.
+	ID string
+	// Clock and Network supply the runtime environment.
+	Clock   clock.Clock
+	Network transport.Network
+	// Catalog holds the movies this server serves. The server joins the
+	// movie group of every movie in the catalog at Start.
+	Catalog *store.Catalog
+	// Peers are the other (potential) servers — the contact list for the
+	// server and movie groups. Peers need not be alive.
+	Peers []string
+	// Directory, when set, is a CONGRESS directory address: the server
+	// registers itself under the server-group name there so clients can
+	// discover the service without a static server list (§5.1's "the
+	// client communicates with the abstract group").
+	Directory string
+	// MaxSessions, when positive, is the admission-control limit: Opens
+	// beyond it are refused (the client tries the next server). Related
+	// VoD work the paper builds on treats admission control as essential
+	// for keeping QoS for admitted streams; takeovers after failures are
+	// never refused — degraded service beats no service.
+	MaxSessions int
+	// FetchMovies lists movies this server should replicate from its
+	// peers at startup (§7: "a new server can be brought up without any
+	// special preparations") and then serve. Movies already in the
+	// catalog are skipped; each missing movie is fetched from the first
+	// peer that has it.
+	FetchMovies []string
+	// Flow is the flow-control parameter set (DefaultParams if zero).
+	Flow flowctl.Params
+	// SyncInterval is the state-sync period on movie groups (default
+	// 500ms, the paper's value).
+	SyncInterval time.Duration
+	// GCS optionally overrides group-communication timing (Clock and
+	// Endpoint fields are ignored).
+	GCS gcs.Config
+}
+
+func (c *Config) fillDefaults() error {
+	if c.ID == "" || c.Clock == nil || c.Network == nil || c.Catalog == nil {
+		return fmt.Errorf("server: ID, Clock, Network and Catalog are required")
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 500 * time.Millisecond
+	}
+	if c.Flow.CombinedCapacity == 0 {
+		c.Flow = flowctl.DefaultParams()
+	}
+	if err := c.Flow.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Stats are the server's cumulative counters, used by the experiment
+// harness (sync-overhead accounting, takeover counts).
+type Stats struct {
+	FramesSent     uint64 // video frames transmitted
+	VideoBytes     uint64 // video payload bytes transmitted (incl. headers)
+	SyncMessages   uint64 // state-sync multicasts sent
+	SyncBytes      uint64 // state-sync payload bytes sent
+	SessionsOpened uint64 // sessions started by client request
+	Takeovers      uint64 // sessions adopted from another server
+	Releases       uint64 // sessions handed to another server
+	Emergencies    uint64 // emergency boosts granted
+	FramesThinned  uint64 // frames withheld by quality adjustment
+}
+
+// Server is one VoD server instance.
+type Server struct {
+	cfg  Config
+	mux  *transport.Mux
+	proc *gcs.Process
+	vid  transport.Endpoint
+
+	mu          sync.Mutex
+	started     bool
+	closed      bool
+	serverGroup *gcs.Member
+	movies      map[string]*movieState // by movie ID
+	sessions    map[string]*session    // by client ID
+	registrar   *congress.Registrar
+	provider    *fetch.Provider
+	fetcher     *fetch.Fetcher
+	stats       Stats
+}
+
+// New creates a server. Call Start to bring it online.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	ep, err := cfg.Network.NewEndpoint(transport.Addr(cfg.ID))
+	if err != nil {
+		return nil, fmt.Errorf("server %s: %w", cfg.ID, err)
+	}
+	mux := transport.NewMux(ep)
+
+	gcfg := cfg.GCS
+	gcfg.Clock = cfg.Clock
+	gcfg.Endpoint = mux.Channel(transport.ChannelGCS)
+	s := &Server{
+		cfg:      cfg,
+		mux:      mux,
+		proc:     gcs.NewProcess(gcfg),
+		vid:      mux.Channel(transport.ChannelVideo),
+		movies:   make(map[string]*movieState),
+		sessions: make(map[string]*session),
+	}
+	return s, nil
+}
+
+// ID returns the server's identifier.
+func (s *Server) ID() string { return s.cfg.ID }
+
+// Start joins the server group and the movie groups for every movie in the
+// catalog, making the server available to clients.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	if s.started || s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("server %s: already started or closed", s.cfg.ID)
+	}
+	s.started = true
+	movieIDs := s.cfg.Catalog.List()
+	s.mu.Unlock()
+
+	contacts := make([]gcs.ProcessID, 0, len(s.cfg.Peers))
+	for _, p := range s.cfg.Peers {
+		if p != s.cfg.ID {
+			contacts = append(contacts, transport.Addr(p))
+		}
+	}
+
+	sg, err := s.proc.Join(ServerGroup, gcs.Handlers{
+		OnMessage: s.onServerGroupMessage,
+	}, contacts...)
+	if err != nil {
+		return fmt.Errorf("server %s: joining server group: %w", s.cfg.ID, err)
+	}
+	s.mu.Lock()
+	s.serverGroup = sg
+	s.mu.Unlock()
+
+	for _, id := range movieIDs {
+		if err := s.serveMovie(id, contacts); err != nil {
+			return err
+		}
+	}
+
+	// Serve replication requests from peers, and fetch whatever movies we
+	// were asked to serve but do not hold.
+	s.provider = fetch.NewProvider(s.cfg.Catalog,
+		s.mux.Channel(transport.ChannelBulk), s.mux.Channel(transport.ChannelBulkReply))
+	s.fetcher = fetch.NewFetcher(s.cfg.Clock,
+		s.mux.Channel(transport.ChannelBulk), s.mux.Channel(transport.ChannelBulkReply))
+	var missing []string
+	for _, id := range s.cfg.FetchMovies {
+		if !s.cfg.Catalog.Has(id) {
+			missing = append(missing, id)
+		}
+	}
+	if len(missing) > 0 {
+		s.later(func() { s.fetchNext(missing, contacts, 0) })
+	}
+
+	if s.cfg.Directory != "" {
+		reg := congress.NewRegistrar(
+			s.cfg.Clock,
+			s.mux.Channel(transport.ChannelDirectory),
+			transport.Addr(s.cfg.Directory),
+			ServerGroup,
+			transport.Addr(s.cfg.ID),
+			0, // default TTL
+		)
+		s.mu.Lock()
+		s.registrar = reg
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// serveMovie joins the movie's group and starts its sync task.
+func (s *Server) serveMovie(movieID string, contacts []gcs.ProcessID) error {
+	movie, err := s.cfg.Catalog.Get(movieID)
+	if err != nil {
+		return err
+	}
+	ms := &movieState{
+		srv:     s,
+		movie:   movie,
+		clients: make(map[string]wire.ClientRecord),
+	}
+	member, err := s.proc.Join(MovieGroup(movieID), gcs.Handlers{
+		OnView:    func(v gcs.View) { s.later(func() { ms.onView(v) }) },
+		OnMessage: func(_ string, from gcs.ProcessID, payload []byte) { s.onMovieGroupMessage(ms, from, payload) },
+	}, contacts...)
+	if err != nil {
+		return fmt.Errorf("server %s: joining movie group %s: %w", s.cfg.ID, movieID, err)
+	}
+	s.mu.Lock()
+	ms.member = member
+	ms.syncTask = clock.Every(s.cfg.Clock, s.cfg.SyncInterval, func() { ms.syncTick() })
+	s.movies[movieID] = ms
+	s.mu.Unlock()
+	return nil
+}
+
+// later schedules f on the clock, off any caller's locks — the trampoline
+// that keeps GCS callbacks, timers and server state changes on one simple
+// locking level.
+func (s *Server) later(f func()) {
+	s.cfg.Clock.AfterFunc(0, f)
+}
+
+// Stop takes the server offline abruptly — equivalent to a crash as far as
+// peers are concerned, except sessions stop transmitting immediately.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, sess := range s.sessions {
+		sess.stopLocked()
+	}
+	s.sessions = make(map[string]*session)
+	for _, ms := range s.movies {
+		if ms.syncTask != nil {
+			ms.syncTask.Stop()
+		}
+	}
+	reg := s.registrar
+	s.mu.Unlock()
+	if reg != nil {
+		reg.Stop()
+	}
+	s.proc.Close()
+	_ = s.mux.Close()
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ActiveSessions returns the IDs of clients this server currently serves,
+// for harness assertions ("each client is served by exactly one server").
+func (s *Server) ActiveSessions() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		out = append(out, id)
+	}
+	return out
+}
+
+// onServerGroupMessage handles messages on the server group — notably the
+// Open anycasts from clients contacting the abstract VoD service.
+func (s *Server) onServerGroupMessage(_ string, from gcs.ProcessID, payload []byte) {
+	msg, err := wire.Decode(payload)
+	if err != nil {
+		return
+	}
+	open, ok := msg.(*wire.Open)
+	if !ok {
+		return
+	}
+	s.later(func() { s.handleOpen(from, open) })
+}
+
+// handleOpen starts a session for a requesting client, or tells it to try
+// elsewhere if this server does not hold the movie.
+func (s *Server) handleOpen(from gcs.ProcessID, open *wire.Open) {
+	movie, err := s.cfg.Catalog.Get(open.Movie)
+	if err != nil {
+		reply := &wire.OpenReply{OK: false, Error: err.Error(), Movie: open.Movie}
+		_ = s.proc.Send(from, wire.Encode(reply))
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	_, servedHere := s.sessions[open.ClientID]
+	servedElsewhere := false
+	if ms := s.movies[open.Movie]; ms != nil && !servedHere {
+		// A retried Open (lost reply) may reach a second server after the
+		// first one already started serving; the knowledge table knows.
+		if rec, known := ms.clients[open.ClientID]; known && !rec.Departed {
+			servedElsewhere = true
+		}
+	}
+	if !servedHere && !servedElsewhere &&
+		s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		reply := &wire.OpenReply{
+			OK:    false,
+			Error: fmt.Sprintf("server %s at capacity (%d sessions)", s.cfg.ID, s.cfg.MaxSessions),
+			Movie: open.Movie,
+		}
+		_ = s.proc.Send(from, wire.Encode(reply))
+		return
+	}
+	if servedHere || servedElsewhere {
+		// Duplicate open (client retry); just re-send the reply below.
+	} else {
+		rec := wire.ClientRecord{
+			ClientID:   open.ClientID,
+			ClientAddr: open.ClientAddr,
+			Offset:     0,
+			Rate:       uint16(movie.FPS()),
+		}
+		s.startSessionLocked(rec, movie, false)
+		s.stats.SessionsOpened++
+	}
+	ms := s.movies[open.Movie]
+	s.mu.Unlock()
+
+	reply := &wire.OpenReply{
+		OK:           true,
+		Movie:        open.Movie,
+		TotalFrames:  uint32(movie.TotalFrames()),
+		FPS:          uint16(movie.FPS()),
+		SessionGroup: SessionGroup(open.ClientID),
+	}
+	_ = s.proc.Send(from, wire.Encode(reply))
+
+	// Tell the movie group about the new client right away, shrinking the
+	// window in which a crash would orphan it.
+	if ms != nil {
+		s.later(ms.syncTick)
+	}
+}

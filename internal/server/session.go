@@ -1,0 +1,295 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/flowctl"
+	"repro/internal/gcs"
+	"repro/internal/mpeg"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// session is one client this server is actively serving: the per-client
+// transmission state of §3–§4. The server paces frames at the client's
+// granted rate, adjusts the rate on flow-control requests, applies the
+// emergency boost, and executes VCR operations.
+type session struct {
+	srv   *Server
+	rec   wire.ClientRecord // live state; rec.Offset is the next frame to send
+	movie *mpeg.Movie
+	rate  *flowctl.RateController
+
+	member *gcs.Member // session-group membership, set once joined
+	ready  bool        // the session view includes the client; streaming may start
+	pacing bool        // a send is scheduled
+	atEnd  bool        // offset ran past the last frame
+	closed bool
+
+	thinCredit int // quality-adjustment accumulator (frames × fps units)
+
+	// conflicts tracks peers that claimed this client in a state sync;
+	// a second consecutive claim (≥ one sync period later, so not a
+	// pre-release race) triggers duplicate resolution. Reset on view
+	// changes.
+	conflicts map[gcs.ProcessID]bool
+
+	sendTimer clock.Timer
+	decayTask *clock.Periodic
+	joinTries int
+}
+
+// startSessionLocked creates the session and begins joining the client's
+// session group. Transmission starts once the group view shows the client
+// — the "two-way connection" of §3 — so the client's control multicasts
+// are guaranteed to reach us from the first frame on. Caller holds srv.mu.
+func (s *Server) startSessionLocked(rec wire.ClientRecord, movie *mpeg.Movie, takeover bool) *session {
+	rate := flowctl.NewRateController(s.cfg.Flow)
+	rate.SetBase(int(rec.Rate))
+	sess := &session{
+		srv:   s,
+		rec:   rec,
+		movie: movie,
+		rate:  rate,
+	}
+	if takeover {
+		// Resuming at a stale offset past the end means the movie ended.
+		if int(rec.Offset) >= movie.TotalFrames() {
+			sess.atEnd = true
+		}
+	}
+	s.sessions[rec.ClientID] = sess
+	sess.decayTask = clock.Every(s.cfg.Clock, time.Second, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if !sess.closed {
+			sess.rate.DecayTick()
+		}
+	})
+	s.later(sess.join)
+	return sess
+}
+
+// join enters the client's session group. It retries while a previous
+// membership for the same client is still deactivating (a client released
+// and re-adopted in quick succession).
+func (sess *session) join() {
+	sess.srv.mu.Lock()
+	if sess.closed {
+		sess.srv.mu.Unlock()
+		return
+	}
+	group := SessionGroup(sess.rec.ClientID)
+	contact := transport.Addr(sess.rec.ClientAddr)
+	clientID := sess.rec.ClientID
+	sess.srv.mu.Unlock()
+
+	member, err := sess.srv.proc.Join(group, gcs.Handlers{
+		OnView: func(v gcs.View) {
+			sess.srv.later(func() { sess.onSessionView(v) })
+		},
+		OnMessage: func(_ string, from gcs.ProcessID, payload []byte) {
+			sess.srv.later(func() { sess.srv.handleSessionMessage(clientID, from, payload) })
+		},
+	}, contact)
+
+	sess.srv.mu.Lock()
+	defer sess.srv.mu.Unlock()
+	if err != nil {
+		sess.joinTries++
+		if sess.closed || sess.joinTries > 50 {
+			return
+		}
+		sess.srv.cfg.Clock.AfterFunc(100*time.Millisecond, sess.join)
+		return
+	}
+	if sess.closed {
+		// Session died while joining; undo.
+		leave := member.Leave
+		sess.srv.later(func() { _ = leave() })
+		return
+	}
+	sess.member = member
+}
+
+// onSessionView watches for the client to appear in the session view, at
+// which point streaming starts.
+func (sess *session) onSessionView(v gcs.View) {
+	sess.srv.mu.Lock()
+	defer sess.srv.mu.Unlock()
+	if sess.closed || sess.ready {
+		return
+	}
+	if v.Includes(transport.Addr(sess.rec.ClientAddr)) {
+		sess.ready = true
+		sess.schedulePacingLocked()
+	}
+}
+
+// schedulePacingLocked arms the next frame transmission at the current
+// rate. Caller holds srv.mu.
+func (sess *session) schedulePacingLocked() {
+	if sess.closed || !sess.ready || sess.pacing || sess.rec.Paused || sess.atEnd {
+		return
+	}
+	rate := sess.rate.Rate()
+	if rate < 1 {
+		rate = 1
+	}
+	sess.pacing = true
+	sess.sendTimer = sess.srv.cfg.Clock.AfterFunc(time.Second/time.Duration(rate), sess.sendOne)
+}
+
+// sendOne handles one pacing tick: the stream position advances by exactly
+// one frame per tick (so the movie always plays at the granted rate in
+// movie time), and the frame is transmitted unless quality thinning
+// withholds it (§4.3: transmit all I frames and as many of the others as
+// the client's capabilities allow).
+func (sess *session) sendOne() {
+	s := sess.srv
+	s.mu.Lock()
+	sess.pacing = false
+	if sess.closed || sess.rec.Paused {
+		s.mu.Unlock()
+		return
+	}
+	total := uint32(sess.movie.TotalFrames())
+	if sess.rec.Offset >= total {
+		sess.atEnd = true
+		s.mu.Unlock()
+		return
+	}
+
+	idx := int(sess.rec.Offset)
+	info := sess.movie.Frame(idx)
+	sess.rec.Offset++
+
+	send := true
+	fps := uint16(sess.movie.FPS())
+	if quality := sess.rec.QualityFPS; quality > 0 && quality < fps {
+		sess.thinCredit += int(quality)
+		if info.Class == wire.FrameI || sess.thinCredit >= int(fps) {
+			// I frames always go out; they borrow against the budget
+			// (credit may go negative) so the total stays ≈ quality.
+			sess.thinCredit -= int(fps)
+		} else {
+			send = false
+			s.stats.FramesThinned++
+		}
+	}
+
+	if !send {
+		sess.schedulePacingLocked()
+		s.mu.Unlock()
+		return
+	}
+	frame := &wire.Frame{
+		Movie:   sess.movie.ID(),
+		Index:   uint32(idx),
+		Class:   info.Class,
+		Payload: sess.movie.FrameData(idx),
+	}
+	pkt := wire.Encode(frame)
+	dst := transport.Addr(sess.rec.ClientAddr)
+	s.stats.FramesSent++
+	s.stats.VideoBytes += uint64(len(pkt))
+	sess.schedulePacingLocked()
+	s.mu.Unlock()
+
+	_ = s.vid.Send(dst, pkt)
+}
+
+// stopLocked halts the session permanently. Caller holds srv.mu.
+func (sess *session) stopLocked() {
+	if sess.closed {
+		return
+	}
+	sess.closed = true
+	if sess.sendTimer != nil {
+		sess.sendTimer.Stop()
+	}
+	if sess.decayTask != nil {
+		sess.decayTask.Stop()
+	}
+	if m := sess.member; m != nil {
+		sess.srv.later(func() { _ = m.Leave() })
+	}
+}
+
+// handleSessionMessage processes a client control message multicast into
+// the session group.
+func (s *Server) handleSessionMessage(clientID string, _ gcs.ProcessID, payload []byte) {
+	msg, err := wire.Decode(payload)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessions[clientID]
+	if sess == nil || sess.closed {
+		return
+	}
+	switch msg := msg.(type) {
+	case *wire.FlowControl:
+		if msg.ClientID != clientID {
+			return
+		}
+		wasActive := sess.rate.EmergencyActive()
+		sess.rate.OnRequest(msg.Request)
+		if !wasActive && sess.rate.EmergencyActive() {
+			s.stats.Emergencies++
+		}
+		sess.rec.Rate = uint16(sess.rate.Base())
+	case *wire.VCR:
+		if msg.ClientID != clientID {
+			return
+		}
+		s.handleVCRLocked(sess, msg)
+	}
+}
+
+// handleVCRLocked executes a VCR operation (§3: "full VCR-like control").
+func (s *Server) handleVCRLocked(sess *session, msg *wire.VCR) {
+	switch msg.Op {
+	case wire.VCRPause:
+		sess.rec.Paused = true
+		if sess.sendTimer != nil {
+			sess.sendTimer.Stop()
+		}
+		sess.pacing = false
+	case wire.VCRResume:
+		sess.rec.Paused = false
+		sess.schedulePacingLocked()
+	case wire.VCRSeek:
+		target := int(msg.Arg)
+		if target >= sess.movie.TotalFrames() {
+			target = sess.movie.TotalFrames() - 1
+		}
+		// Random access lands on the next I frame so the client can
+		// decode from the first delivered frame.
+		idx := sess.movie.NextIFrame(target)
+		if idx < 0 {
+			idx = sess.movie.PrevIFrame(target)
+		}
+		sess.rec.Offset = uint32(idx)
+		sess.atEnd = false
+		sess.thinCredit = 0
+		sess.schedulePacingLocked()
+	case wire.VCRQuality:
+		fps := uint32(sess.movie.FPS())
+		if msg.Arg >= fps {
+			sess.rec.QualityFPS = 0 // full quality
+		} else {
+			sess.rec.QualityFPS = uint16(msg.Arg)
+		}
+		sess.thinCredit = 0
+	case wire.VCRStop:
+		sess.rec.Departed = true
+		if ms := s.movies[sess.movie.ID()]; ms != nil {
+			ms.noteDepartedLocked(sess.rec)
+		}
+		sess.stopLocked()
+		delete(s.sessions, sess.rec.ClientID)
+	}
+}

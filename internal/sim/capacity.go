@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/mpeg"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// TableCapacity measures how many concurrent viewers one server's uplink
+// sustains — the scalability pressure that motivates the paper's
+// multi-server design (§1). The server's NIC is capped at 100 Mbps
+// (switched Ethernet); each 1.4 Mbps stream takes ~1/70 of it. Beyond the
+// knee the shared egress queue backs up: established streams coast on
+// their buffers while newcomers cannot even complete session setup —
+// which is exactly when "new servers may be brought up on the fly to
+// alleviate the load", or when admission control caps the damage (last
+// row: the same overload with the server admitting only 65).
+func TableCapacity(seed int64) Table {
+	t := Table{
+		ID:    "Abl C",
+		Title: "viewers per server on a 100 Mbps uplink (motivates §1)",
+		Header: []string{
+			"viewers", "admitted", "uplink demand", "healthy", "starved",
+			"stalls/healthy viewer", "worst freeze (ticks)",
+		},
+	}
+	type cfg struct {
+		n   int
+		max int // admission limit; 0 = none
+	}
+	for _, tc := range []cfg{{10, 0}, {40, 0}, {65, 0}, {85, 0}, {85, 65}} {
+		res := capacityTrial(seed, tc.n, tc.max)
+		admitted := "all"
+		if tc.max > 0 {
+			admitted = strconv.Itoa(tc.max)
+		}
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(tc.n),
+			admitted,
+			fmt.Sprintf("%d%%", tc.n*1400/1000),
+			strconv.Itoa(res.healthy),
+			strconv.Itoa(res.starved),
+			fmt.Sprintf("%.1f", res.stallsPerHealthy),
+			strconv.FormatUint(res.worstFreeze, 10),
+		})
+	}
+	return t
+}
+
+type capacityResult struct {
+	healthy          int // viewers that displayed ≥80% of their expected frames
+	starved          int // viewers below 50% (typically: never finished setup)
+	stallsPerHealthy float64
+	worstFreeze      uint64
+}
+
+// capacityTrial runs n viewers against one egress-limited server for a
+// 30-second movie and classifies each viewer's playback quality against
+// what a healthy session would have displayed.
+func capacityTrial(seed int64, n, maxSessions int) capacityResult {
+	clk := clock.NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	net := netsim.New(clk, seed, netsim.LAN())
+	net.SetEgressLimit("server-1", 100*1000*1000/8)
+
+	movie := mpeg.Generate("feature", mpeg.StreamConfig{Duration: 30 * time.Second, Seed: seed})
+	cat := store.NewCatalog()
+	cat.Add(movie)
+	srv, err := server.New(server.Config{
+		ID:          "server-1",
+		Clock:       clk,
+		Network:     net,
+		Catalog:     cat,
+		Peers:       []string{"server-1"},
+		MaxSessions: maxSessions,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Stop()
+	if err := srv.Start(); err != nil {
+		panic(err)
+	}
+	clk.Advance(500 * time.Millisecond)
+
+	viewers := make([]*client.Client, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := client.New(client.Config{
+			ID:      fmt.Sprintf("viewer-%03d", i),
+			Clock:   clk,
+			Network: net,
+			Servers: []string{"server-1"},
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer c.Close()
+		if err := c.Watch("feature"); err != nil {
+			panic(err)
+		}
+		viewers = append(viewers, c)
+		clk.Advance(50 * time.Millisecond) // staggered arrivals
+	}
+	watch := 28 * time.Second
+	clk.Advance(watch)
+
+	expected := uint64(watch/time.Second) * 30 * 9 / 10 // minus startup slack
+	var res capacityResult
+	var healthyStalls uint64
+	for _, c := range viewers {
+		cnt := c.Counters()
+		switch {
+		case cnt.Displayed >= expected*8/10:
+			res.healthy++
+			healthyStalls += cnt.Stalls
+		case cnt.Displayed < expected/2:
+			res.starved++
+		}
+		if cnt.MaxStallRun > res.worstFreeze {
+			res.worstFreeze = cnt.MaxStallRun
+		}
+	}
+	if res.healthy > 0 {
+		res.stallsPerHealthy = float64(healthyStalls) / float64(res.healthy)
+	}
+	return res
+}

@@ -1,0 +1,330 @@
+// Package sim is the experiment harness: it assembles whole VoD clusters
+// (servers, clients, simulated network, virtual clock), runs the scripted
+// scenarios of the paper's evaluation, and samples every quantity the
+// figures plot. A 90-second scenario executes in milliseconds and is
+// exactly reproducible from its seed.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/flowctl"
+	"repro/internal/metrics"
+	"repro/internal/mpeg"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/transport"
+)
+
+// Event is one scripted action at a point in scenario time.
+type Event struct {
+	At time.Duration
+	// Label annotates the event in figure output ("crash", "load
+	// balance"); unlabeled events are not annotated.
+	Label string
+	Do    func(rt *Runtime)
+}
+
+// Annotation marks a scripted event on a figure's time axis.
+type Annotation struct {
+	At    time.Duration
+	Label string
+}
+
+// Scenario scripts one experiment run.
+type Scenario struct {
+	// Name labels the run in output.
+	Name string
+	// Profile is the network profile (netsim.LAN() or netsim.WAN()).
+	Profile netsim.Profile
+	// Seed drives all randomness.
+	Seed int64
+	// Movie parameters; zero values take the paper's stream (90s,
+	// 1.4 Mbps, 30 fps).
+	Movie mpeg.StreamConfig
+	// Servers are started at time zero. Peers lists every server that may
+	// ever exist (defaults to Servers plus any AddServer targets used in
+	// Events — pass explicitly when using custom events).
+	Servers []string
+	Peers   []string
+	// ClientID is the observed client (default "client-1"). It opens the
+	// movie at ClientStart (default 1s, after the server group settles).
+	ClientID    string
+	ClientStart time.Duration
+	// Buffer and Flow configure the client (paper defaults if zero).
+	Buffer buffer.Config
+	Flow   flowctl.Params
+	// SyncInterval overrides the servers' state-sync period (default
+	// 500ms — the paper's value).
+	SyncInterval time.Duration
+	// Events are the scripted actions (crashes, server additions, VCR).
+	Events []Event
+	// Duration is the total simulated time (default: movie duration).
+	Duration time.Duration
+	// SampleEvery is the metric sampling period (default 100ms).
+	SampleEvery time.Duration
+}
+
+// Runtime is the live cluster handed to scripted events.
+type Runtime struct {
+	Clk   *clock.Virtual
+	Net   *netsim.Network
+	Movie *mpeg.Movie
+
+	scenario *Scenario
+	servers  map[string]*server.Server
+	client   *client.Client
+	started  time.Time
+
+	// retired accumulates the final stats of crashed servers so totals
+	// (video bytes, sync bytes) survive the crash.
+	retired      map[string]server.Stats
+	retiredVideo uint64
+}
+
+// Result carries every series and counter the figures and tables need.
+type Result struct {
+	Name string
+
+	// Cumulative client-side series (Figures 4a, 4b, 5a, 5b).
+	SkippedCum  *metrics.Series // frames not displayed (gap + overflow)
+	LateCum     *metrics.Series // late/duplicate frames
+	OverflowCum *metrics.Series // overflow-discarded frames
+	StallsCum   *metrics.Series // display stalls
+
+	// Occupancy series (Figures 4c, 4d).
+	SWOccupancy *metrics.Series // software buffer, frames
+	HWOccupancy *metrics.Series // hardware buffer, bytes
+	Combined    *metrics.Series // combined occupancy, frames
+
+	// ServingServer samples which server holds the session (by index in
+	// sorted server names; -1 when none) — used to measure takeover.
+	ServingServer *metrics.Series
+
+	// VideoBytesCum samples total video bytes sent by all servers, for
+	// bandwidth/overhead accounting.
+	VideoBytesCum *metrics.Series
+
+	Final        buffer.Counters
+	ClientJitter time.Duration // smoothed inter-arrival jitter at scenario end
+	ClientStats  client.Stats
+	ServerStats  map[string]server.Stats
+	Flow         flowctl.Params
+	// Annotations are the scenario's labeled events, for figure output.
+	Annotations []Annotation
+}
+
+// AddServer starts a new server mid-scenario (the paper's load-balancing
+// trigger: "a new server was brought up and the client was migrated to it").
+func (rt *Runtime) AddServer(id string) {
+	cat := store.NewCatalog()
+	cat.Add(rt.Movie)
+	s, err := server.New(server.Config{
+		ID:           id,
+		Clock:        rt.Clk,
+		Network:      rt.Net,
+		Catalog:      cat,
+		Peers:        rt.scenario.Peers,
+		Flow:         rt.scenario.Flow,
+		SyncInterval: rt.scenario.SyncInterval,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("sim: adding server %s: %v", id, err))
+	}
+	if err := s.Start(); err != nil {
+		panic(fmt.Sprintf("sim: starting server %s: %v", id, err))
+	}
+	rt.servers[id] = s
+}
+
+// CrashServer fail-stops a server.
+func (rt *Runtime) CrashServer(id string) {
+	s := rt.servers[id]
+	if s == nil {
+		panic(fmt.Sprintf("sim: no server %q to crash", id))
+	}
+	st := s.Stats()
+	rt.retired[id] = st
+	rt.retiredVideo += st.VideoBytes
+	s.Stop()
+	rt.Net.Crash(transport.Addr(id))
+	delete(rt.servers, id)
+}
+
+// CrashServing fail-stops whichever server currently serves the client.
+func (rt *Runtime) CrashServing() {
+	if id := rt.ServingServer(); id != "" {
+		rt.CrashServer(id)
+	}
+}
+
+// ServingServer returns the server currently holding the client's session
+// ("" if none).
+func (rt *Runtime) ServingServer() string {
+	for id, s := range rt.servers {
+		for _, c := range s.ActiveSessions() {
+			if c == rt.scenario.ClientID {
+				return id
+			}
+		}
+	}
+	return ""
+}
+
+// Client returns the observed client.
+func (rt *Runtime) Client() *client.Client { return rt.client }
+
+// Servers returns the live servers keyed by ID.
+func (rt *Runtime) Servers() map[string]*server.Server { return rt.servers }
+
+// Elapsed returns the scenario time.
+func (rt *Runtime) Elapsed() time.Duration { return rt.Clk.Now().Sub(rt.started) }
+
+func (sc *Scenario) fillDefaults() {
+	if sc.ClientID == "" {
+		sc.ClientID = "client-1"
+	}
+	if sc.ClientStart <= 0 {
+		sc.ClientStart = time.Second
+	}
+	if sc.SampleEvery <= 0 {
+		sc.SampleEvery = 100 * time.Millisecond
+	}
+	if sc.Buffer.SoftwareCapacity == 0 {
+		sc.Buffer = buffer.DefaultConfig()
+	}
+	if sc.Flow.CombinedCapacity == 0 {
+		sc.Flow = flowctl.DefaultParams()
+	}
+	if len(sc.Peers) == 0 {
+		sc.Peers = append([]string(nil), sc.Servers...)
+	}
+}
+
+// Run executes the scenario and returns its result.
+func Run(sc Scenario) *Result {
+	sc.fillDefaults()
+	clk := clock.NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	net := netsim.New(clk, sc.Seed, sc.Profile)
+	movieCfg := sc.Movie
+	movieCfg.Seed = sc.Seed
+	movie := mpeg.Generate("feature", movieCfg)
+	if sc.Duration <= 0 {
+		sc.Duration = movie.Duration()
+	}
+
+	rt := &Runtime{
+		Clk:      clk,
+		Net:      net,
+		Movie:    movie,
+		scenario: &sc,
+		servers:  make(map[string]*server.Server),
+		started:  clk.Now(),
+		retired:  make(map[string]server.Stats),
+	}
+	for _, id := range sc.Servers {
+		rt.AddServer(id)
+	}
+
+	res := &Result{
+		Name:          sc.Name,
+		SkippedCum:    metrics.NewSeries("skipped frames (cumulative)"),
+		LateCum:       metrics.NewSeries("late frames (cumulative)"),
+		OverflowCum:   metrics.NewSeries("frames discarded due to overflow (cumulative)"),
+		StallsCum:     metrics.NewSeries("display stalls (cumulative)"),
+		SWOccupancy:   metrics.NewSeries("software buffer occupancy (frames)"),
+		HWOccupancy:   metrics.NewSeries("hardware buffer occupancy (bytes)"),
+		Combined:      metrics.NewSeries("combined buffer occupancy (frames)"),
+		ServingServer: metrics.NewSeries("serving server (index; -1 none)"),
+		VideoBytesCum: metrics.NewSeries("video bytes sent (cumulative)"),
+		ServerStats:   make(map[string]server.Stats),
+		Flow:          sc.Flow,
+	}
+
+	// Client creation and open.
+	clk.AfterFunc(sc.ClientStart, func() {
+		c, err := client.New(client.Config{
+			ID:      sc.ClientID,
+			Clock:   clk,
+			Network: net,
+			Servers: sc.Peers,
+			Buffer:  sc.Buffer,
+			Flow:    sc.Flow,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("sim: creating client: %v", err))
+		}
+		rt.client = c
+		if err := c.Watch(movie.ID()); err != nil {
+			panic(fmt.Sprintf("sim: watch: %v", err))
+		}
+	})
+
+	// Scripted events.
+	for _, ev := range sc.Events {
+		ev := ev
+		clk.AfterFunc(ev.At, func() { ev.Do(rt) })
+		if ev.Label != "" {
+			res.Annotations = append(res.Annotations, Annotation{At: ev.At, Label: ev.Label})
+		}
+	}
+
+	// Metric sampling.
+	serverIndex := func(id string) float64 {
+		if id == "" {
+			return -1
+		}
+		names := append([]string(nil), sc.Peers...)
+		sort.Strings(names)
+		for i, n := range names {
+			if n == id {
+				return float64(i)
+			}
+		}
+		return -1
+	}
+	sampler := clock.Every(clk, sc.SampleEvery, func() {
+		t := rt.Elapsed()
+		if rt.client != nil {
+			cnt := rt.client.Counters()
+			occ := rt.client.Occupancy()
+			res.SkippedCum.Add(t, float64(cnt.Skipped()))
+			res.LateCum.Add(t, float64(cnt.Late))
+			res.OverflowCum.Add(t, float64(cnt.OverflowDropped))
+			res.StallsCum.Add(t, float64(cnt.Stalls))
+			res.SWOccupancy.Add(t, float64(occ.SoftwareFrames))
+			res.HWOccupancy.Add(t, float64(occ.HardwareBytes))
+			res.Combined.Add(t, float64(occ.CombinedFrames))
+		}
+		res.ServingServer.Add(t, serverIndex(rt.ServingServer()))
+		vb := rt.retiredVideo
+		for _, s := range rt.servers {
+			vb += s.Stats().VideoBytes
+		}
+		res.VideoBytesCum.Add(t, float64(vb))
+	})
+
+	clk.Advance(sc.Duration)
+	sampler.Stop()
+
+	if rt.client != nil {
+		res.Final = rt.client.Counters()
+		res.ClientStats = rt.client.Stats()
+		res.ClientJitter = rt.client.Jitter()
+		rt.client.Close()
+	}
+	for id, s := range rt.servers {
+		res.ServerStats[id] = s.Stats()
+		s.Stop()
+	}
+	for id, st := range rt.retired {
+		res.ServerStats[id] = st
+	}
+	return res
+}

@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ChannelID tags each datagram with the logical plane it belongs to.
+type ChannelID byte
+
+// The planes used by the VoD service. Control (GCS membership + reliable
+// multicast) and video frames share one endpoint per node, as they share
+// one UDP stack in the paper's prototype.
+const (
+	ChannelGCS ChannelID = iota + 1
+	ChannelVideo
+	// ChannelDirectory carries CONGRESS group-address resolution traffic
+	// (registrations and lookups).
+	ChannelDirectory
+	// ChannelBulk carries movie replication requests (package fetch);
+	// ChannelBulkReply carries the chunks back. Two channels because each
+	// side of a transfer owns one inbound handler.
+	ChannelBulk
+	ChannelBulkReply
+)
+
+// Mux splits a single Endpoint into independent logical channels by
+// prefixing every datagram with a one-byte channel ID. Each channel is
+// itself an Endpoint, so higher layers are unaware of the sharing.
+type Mux struct {
+	ep Endpoint
+
+	mu       sync.RWMutex
+	channels map[ChannelID]*muxChannel
+}
+
+// NewMux wraps ep. The mux takes over ep's handler; callers must not call
+// ep.SetHandler afterwards.
+func NewMux(ep Endpoint) *Mux {
+	m := &Mux{
+		ep:       ep,
+		channels: make(map[ChannelID]*muxChannel),
+	}
+	ep.SetHandler(m.dispatch)
+	return m
+}
+
+// Channel returns the Endpoint for id, creating it on first use. Calling
+// Channel twice with the same id returns the same Endpoint.
+func (m *Mux) Channel(id ChannelID) Endpoint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch, ok := m.channels[id]
+	if !ok {
+		ch = &muxChannel{mux: m, id: id}
+		m.channels[id] = ch
+	}
+	return ch
+}
+
+// Close closes the underlying endpoint and all channels.
+func (m *Mux) Close() error {
+	return m.ep.Close()
+}
+
+func (m *Mux) dispatch(from Addr, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	id := ChannelID(payload[0])
+	m.mu.RLock()
+	ch := m.channels[id]
+	m.mu.RUnlock()
+	if ch == nil {
+		return // no listener on this plane; drop like UDP would
+	}
+	ch.mu.RLock()
+	h := ch.handler
+	ch.mu.RUnlock()
+	if h != nil {
+		h(from, payload[1:])
+	}
+}
+
+type muxChannel struct {
+	mux *Mux
+	id  ChannelID
+
+	mu      sync.RWMutex
+	handler Handler
+}
+
+var _ Endpoint = (*muxChannel)(nil)
+
+func (c *muxChannel) Addr() Addr { return c.mux.ep.Addr() }
+
+func (c *muxChannel) Send(to Addr, payload []byte) error {
+	if len(payload) > MaxDatagram-1 {
+		return fmt.Errorf("channel %d to %s: %w", c.id, to, ErrTooLarge)
+	}
+	framed := make([]byte, 0, len(payload)+1)
+	framed = append(framed, byte(c.id))
+	framed = append(framed, payload...)
+	return c.mux.ep.Send(to, framed)
+}
+
+func (c *muxChannel) SetHandler(h Handler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handler = h
+}
+
+// Close detaches this channel's handler; the shared endpoint stays open for
+// the other planes.
+func (c *muxChannel) Close() error {
+	c.SetHandler(nil)
+	return nil
+}

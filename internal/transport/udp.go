@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// UDPEndpoint is the real-network Endpoint used by the cmd/ binaries. Its
+// Addr is the socket's host:port string; peers are dialed by resolving
+// their Addr on every Send (resolution results are cached).
+type UDPEndpoint struct {
+	conn *net.UDPConn
+	addr Addr
+
+	mu      sync.RWMutex
+	handler Handler
+	peers   map[Addr]*net.UDPAddr
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+var _ Endpoint = (*UDPEndpoint)(nil)
+
+// ListenUDP binds a UDP socket on bind (e.g. "127.0.0.1:7001" or ":0") and
+// starts its receive loop. advertise, when non-empty, overrides the address
+// reported by Addr — needed when binding ":0" or a wildcard host.
+func ListenUDP(bind string, advertise Addr) (*UDPEndpoint, error) {
+	laddr, err := net.ResolveUDPAddr("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("resolve %q: %w", bind, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %q: %w", bind, err)
+	}
+	addr := advertise
+	if addr == "" {
+		addr = Addr(conn.LocalAddr().String())
+	}
+	ep := &UDPEndpoint{
+		conn:  conn,
+		addr:  addr,
+		peers: make(map[Addr]*net.UDPAddr),
+	}
+	ep.wg.Add(1)
+	go ep.readLoop()
+	return ep, nil
+}
+
+// Addr implements Endpoint.
+func (e *UDPEndpoint) Addr() Addr { return e.addr }
+
+// Send implements Endpoint.
+func (e *UDPEndpoint) Send(to Addr, payload []byte) error {
+	if len(payload) > MaxDatagram {
+		return fmt.Errorf("udp send to %s: %w", to, ErrTooLarge)
+	}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return ErrClosed
+	}
+	raddr := e.peers[to]
+	e.mu.RUnlock()
+
+	if raddr == nil {
+		resolved, err := net.ResolveUDPAddr("udp", string(to))
+		if err != nil {
+			return fmt.Errorf("resolve peer %q: %w", to, err)
+		}
+		e.mu.Lock()
+		e.peers[to] = resolved
+		e.mu.Unlock()
+		raddr = resolved
+	}
+	if _, err := e.conn.WriteToUDP(payload, raddr); err != nil {
+		return fmt.Errorf("udp send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// SetHandler implements Endpoint.
+func (e *UDPEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+// Close implements Endpoint. It stops the receive loop and waits for it.
+func (e *UDPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	err := e.conn.Close()
+	e.wg.Wait()
+	return err
+}
+
+func (e *UDPEndpoint) readLoop() {
+	defer e.wg.Done()
+	buf := make([]byte, MaxDatagram+1)
+	for {
+		n, raddr, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			e.mu.RLock()
+			closed := e.closed
+			e.mu.RUnlock()
+			if closed {
+				return
+			}
+			continue // transient error; keep serving
+		}
+		e.mu.RLock()
+		h := e.handler
+		e.mu.RUnlock()
+		if h == nil || n > MaxDatagram {
+			continue
+		}
+		// Handlers must not retain the payload, so one buffer suffices.
+		h(Addr(raddr.String()), buf[:n])
+	}
+}

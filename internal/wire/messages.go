@@ -1,0 +1,429 @@
+package wire
+
+import "fmt"
+
+// Kind discriminates the VoD protocol messages. GCS-internal messages have
+// their own envelope inside package gcs; these kinds cover everything the
+// VoD layer itself puts on the wire, whether over raw datagrams (frames) or
+// as payloads of reliable group multicasts (control, state sync).
+type Kind uint8
+
+// The VoD message kinds.
+const (
+	// KindOpen is sent by a client to the server group to start watching
+	// a movie ("connect to the VoD service and request a movie").
+	KindOpen Kind = iota + 1
+	// KindOpenReply answers an Open with the session parameters.
+	KindOpenReply
+	// KindFrame carries one video frame, server → client, over the
+	// unreliable video channel: one frame per message, as in the paper.
+	KindFrame
+	// KindFlowControl carries a client flow-control request into the
+	// session group (±1 frame/s, or an emergency refill request).
+	KindFlowControl
+	// KindVCR carries a client VCR operation (pause/resume/seek/quality/
+	// stop) into the session group.
+	KindVCR
+	// KindClientState is the periodic server→server state-sync record
+	// multicast on a movie group every half second.
+	KindClientState
+)
+
+// Message is a VoD protocol message that can be framed with Encode.
+type Message interface {
+	// Kind returns the message's wire discriminator.
+	Kind() Kind
+	// appendBody appends the message body (without the kind byte).
+	appendBody(b []byte) []byte
+}
+
+// Encode frames m as a kind byte followed by its body.
+func Encode(m Message) []byte {
+	b := make([]byte, 0, 64)
+	b = AppendU8(b, uint8(m.Kind()))
+	return m.appendBody(b)
+}
+
+// Decode parses a framed message produced by Encode. The returned message
+// does not alias b except where noted (Frame.Payload).
+func Decode(b []byte) (Message, error) {
+	r := NewReader(b)
+	kind := Kind(r.U8())
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wire: reading kind: %w", err)
+	}
+	var (
+		m   Message
+		err error
+	)
+	switch kind {
+	case KindOpen:
+		m, err = decodeOpen(r)
+	case KindOpenReply:
+		m, err = decodeOpenReply(r)
+	case KindFrame:
+		m, err = decodeFrame(r)
+	case KindFlowControl:
+		m, err = decodeFlowControl(r)
+	case KindVCR:
+		m, err = decodeVCR(r)
+	case KindClientState:
+		m, err = decodeClientState(r)
+	default:
+		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wire: decoding %v: %w", kind, err)
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("wire: decoding %v: %w", kind, err)
+	}
+	return m, nil
+}
+
+// String implements fmt.Stringer for log readability.
+func (k Kind) String() string {
+	switch k {
+	case KindOpen:
+		return "Open"
+	case KindOpenReply:
+		return "OpenReply"
+	case KindFrame:
+		return "Frame"
+	case KindFlowControl:
+		return "FlowControl"
+	case KindVCR:
+		return "VCR"
+	case KindClientState:
+		return "ClientState"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Open asks the abstract server group to start a session. The client never
+// names a particular server.
+type Open struct {
+	ClientID   string // globally unique client identifier
+	ClientAddr string // transport address video frames should be sent to
+	Movie      string // requested movie ID from the catalog
+}
+
+var _ Message = (*Open)(nil)
+
+// Kind implements Message.
+func (*Open) Kind() Kind { return KindOpen }
+
+func (m *Open) appendBody(b []byte) []byte {
+	b = AppendString(b, m.ClientID)
+	b = AppendString(b, m.ClientAddr)
+	return AppendString(b, m.Movie)
+}
+
+func decodeOpen(r *Reader) (Message, error) {
+	m := &Open{
+		ClientID:   r.String(),
+		ClientAddr: r.String(),
+		Movie:      r.String(),
+	}
+	return m, r.Err()
+}
+
+// OpenReply carries the session parameters back to the client, or an error.
+type OpenReply struct {
+	OK           bool
+	Error        string // set when !OK
+	Movie        string
+	TotalFrames  uint32 // length of the movie in frames
+	FPS          uint16 // nominal display rate
+	SessionGroup string // group the client must join for control traffic
+}
+
+var _ Message = (*OpenReply)(nil)
+
+// Kind implements Message.
+func (*OpenReply) Kind() Kind { return KindOpenReply }
+
+func (m *OpenReply) appendBody(b []byte) []byte {
+	b = AppendBool(b, m.OK)
+	b = AppendString(b, m.Error)
+	b = AppendString(b, m.Movie)
+	b = AppendU32(b, m.TotalFrames)
+	b = AppendU16(b, m.FPS)
+	return AppendString(b, m.SessionGroup)
+}
+
+func decodeOpenReply(r *Reader) (Message, error) {
+	m := &OpenReply{
+		OK:           r.Bool(),
+		Error:        r.String(),
+		Movie:        r.String(),
+		TotalFrames:  r.U32(),
+		FPS:          r.U16(),
+		SessionGroup: r.String(),
+	}
+	return m, r.Err()
+}
+
+// FrameClass is the MPEG frame type carried in a Frame message. I frames
+// are full images; P and B frames are incremental and undecodable without
+// their reference frames.
+type FrameClass uint8
+
+// The MPEG frame classes.
+const (
+	FrameI FrameClass = iota + 1
+	FrameP
+	FrameB
+)
+
+// String implements fmt.Stringer.
+func (c FrameClass) String() string {
+	switch c {
+	case FrameI:
+		return "I"
+	case FrameP:
+		return "P"
+	case FrameB:
+		return "B"
+	default:
+		return fmt.Sprintf("FrameClass(%d)", uint8(c))
+	}
+}
+
+// Frame is one video frame in flight. Exactly one frame travels per
+// datagram; the stream is identified by the session, so the frame carries
+// only its index and class.
+type Frame struct {
+	Movie   string
+	Index   uint32     // position in the movie, 0-based
+	Class   FrameClass // I, P or B
+	Payload []byte     // frame bytes; aliases the receive buffer on decode
+}
+
+var _ Message = (*Frame)(nil)
+
+// Kind implements Message.
+func (*Frame) Kind() Kind { return KindFrame }
+
+func (m *Frame) appendBody(b []byte) []byte {
+	b = AppendString(b, m.Movie)
+	b = AppendU32(b, m.Index)
+	b = AppendU8(b, uint8(m.Class))
+	return AppendBytes(b, m.Payload)
+}
+
+func decodeFrame(r *Reader) (Message, error) {
+	m := &Frame{
+		Movie:   r.String(),
+		Index:   r.U32(),
+		Class:   FrameClass(r.U8()),
+		Payload: r.Bytes(),
+	}
+	return m, r.Err()
+}
+
+// FlowKind is the type of a client flow-control request (Figure 2 and §4.1
+// of the paper).
+type FlowKind uint8
+
+// The flow-control request kinds.
+const (
+	// FlowIncrease asks the server to raise the rate by one frame/s.
+	FlowIncrease FlowKind = iota + 1
+	// FlowDecrease asks the server to lower the rate by one frame/s.
+	FlowDecrease
+	// FlowEmergencyMinor reports occupancy below the 30% threshold;
+	// the server adds the minor emergency quantity (q=6).
+	FlowEmergencyMinor
+	// FlowEmergencyMajor reports occupancy below the 15% threshold;
+	// the server adds the major emergency quantity (q=12).
+	FlowEmergencyMajor
+)
+
+// String implements fmt.Stringer.
+func (k FlowKind) String() string {
+	switch k {
+	case FlowIncrease:
+		return "increase"
+	case FlowDecrease:
+		return "decrease"
+	case FlowEmergencyMinor:
+		return "emergency-minor"
+	case FlowEmergencyMajor:
+		return "emergency-major"
+	default:
+		return fmt.Sprintf("FlowKind(%d)", uint8(k))
+	}
+}
+
+// FlowControl is a client→server flow-control request, multicast into the
+// session group so whichever server currently serves the client gets it.
+type FlowControl struct {
+	ClientID  string
+	Request   FlowKind
+	Occupancy uint16 // combined buffer occupancy in frames, for diagnostics
+}
+
+var _ Message = (*FlowControl)(nil)
+
+// Kind implements Message.
+func (*FlowControl) Kind() Kind { return KindFlowControl }
+
+func (m *FlowControl) appendBody(b []byte) []byte {
+	b = AppendString(b, m.ClientID)
+	b = AppendU8(b, uint8(m.Request))
+	return AppendU16(b, m.Occupancy)
+}
+
+func decodeFlowControl(r *Reader) (Message, error) {
+	m := &FlowControl{
+		ClientID:  r.String(),
+		Request:   FlowKind(r.U8()),
+		Occupancy: r.U16(),
+	}
+	return m, r.Err()
+}
+
+// VCROp is a VCR operation ("full VCR-like control over the transmitted
+// material", §3, per the ATM Forum VoD spec).
+type VCROp uint8
+
+// The VCR operations.
+const (
+	VCRPause VCROp = iota + 1
+	VCRResume
+	VCRSeek    // random access to Arg (frame index)
+	VCRQuality // reduce to Arg frames/s; server skips non-I frames
+	VCRStop    // end the session
+)
+
+// String implements fmt.Stringer.
+func (op VCROp) String() string {
+	switch op {
+	case VCRPause:
+		return "pause"
+	case VCRResume:
+		return "resume"
+	case VCRSeek:
+		return "seek"
+	case VCRQuality:
+		return "quality"
+	case VCRStop:
+		return "stop"
+	default:
+		return fmt.Sprintf("VCROp(%d)", uint8(op))
+	}
+}
+
+// VCR is a client→server VCR command, multicast into the session group.
+type VCR struct {
+	ClientID string
+	Op       VCROp
+	Arg      uint32 // seek target frame, or quality target fps
+}
+
+var _ Message = (*VCR)(nil)
+
+// Kind implements Message.
+func (*VCR) Kind() Kind { return KindVCR }
+
+func (m *VCR) appendBody(b []byte) []byte {
+	b = AppendString(b, m.ClientID)
+	b = AppendU8(b, uint8(m.Op))
+	return AppendU32(b, m.Arg)
+}
+
+func decodeVCR(r *Reader) (Message, error) {
+	m := &VCR{
+		ClientID: r.String(),
+		Op:       VCROp(r.U8()),
+		Arg:      r.U32(),
+	}
+	return m, r.Err()
+}
+
+// ClientRecord is one client's entry in a state-sync multicast: everything
+// another server needs to take the client over (§5.2 — "the offsets of its
+// clients in the movie and their current transmission rates").
+// The session group ("vod.session."+ClientID) and the movie (implied by
+// the movie group the record is multicast on) are derivable and therefore
+// not carried — the paper reports "a total of a few dozen bytes" per
+// client, and this record is exactly that.
+type ClientRecord struct {
+	ClientID   string
+	ClientAddr string
+	Offset     uint32 // next frame index to transmit
+	Rate       uint16 // current transmission rate, frames/s
+	QualityFPS uint16 // client-requested quality cap; 0 = full quality
+	Paused     bool
+	Departed   bool  // session ended; peers must forget this client
+	SentAt     int64 // sender's clock, unix milliseconds, for ordering
+}
+
+// ClientState is the state-sync message multicast on a movie group: the
+// periodic half-second sync (a few dozen bytes per client) and, with
+// ViewSeq set, the knowledge exchange that precedes client redistribution
+// after a view change (§5.2: "the servers first exchange information about
+// clients, and then use it to deduce which clients each of them will
+// serve").
+type ClientState struct {
+	Server  string // sending server's ID
+	Clients []ClientRecord
+	// ViewSeq, when nonzero, marks this as the sender's view-synchronization
+	// message for the movie-group view with that sequence number.
+	ViewSeq uint64
+	// Newcomer is set on view-sync messages by servers that joined the
+	// group with no client knowledge — fresh servers brought up to
+	// alleviate load. Redistribution deals clients to newcomers first.
+	Newcomer bool
+}
+
+var _ Message = (*ClientState)(nil)
+
+// Kind implements Message.
+func (*ClientState) Kind() Kind { return KindClientState }
+
+func (m *ClientState) appendBody(b []byte) []byte {
+	b = AppendString(b, m.Server)
+	b = AppendU64(b, m.ViewSeq)
+	b = AppendBool(b, m.Newcomer)
+	b = AppendU16(b, uint16(len(m.Clients)))
+	for i := range m.Clients {
+		c := &m.Clients[i]
+		b = AppendString(b, c.ClientID)
+		b = AppendString(b, c.ClientAddr)
+		b = AppendU32(b, c.Offset)
+		b = AppendU16(b, c.Rate)
+		b = AppendU16(b, c.QualityFPS)
+		b = AppendBool(b, c.Paused)
+		b = AppendBool(b, c.Departed)
+		b = AppendI64(b, c.SentAt)
+	}
+	return b
+}
+
+func decodeClientState(r *Reader) (Message, error) {
+	m := &ClientState{Server: r.String(), ViewSeq: r.U64(), Newcomer: r.Bool()}
+	n := int(r.U16())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	m.Clients = make([]ClientRecord, 0, n)
+	for i := 0; i < n; i++ {
+		m.Clients = append(m.Clients, ClientRecord{
+			ClientID:   r.String(),
+			ClientAddr: r.String(),
+			Offset:     r.U32(),
+			Rate:       r.U16(),
+			QualityFPS: r.U16(),
+			Paused:     r.Bool(),
+			Departed:   r.Bool(),
+			SentAt:     r.I64(),
+		})
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+	}
+	return m, r.Err()
+}
