@@ -8,8 +8,8 @@ test:        ## full test suite (includes ~20s of real-clock tests)
 test-short:  ## skip real-time tests
 	go test -short ./...
 
-race:        ## race detector over the protocol packages
-	go test -race -short ./internal/...
+race:        ## race detector over the whole module
+	go test -race -short ./...
 
 bench:       ## one benchmark per paper figure/table + micro benches
 	go test -bench=. -benchmem ./...

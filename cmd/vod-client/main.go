@@ -19,6 +19,8 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -28,13 +30,16 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
-type udpNetwork struct{}
+type udpNetwork struct {
+	reg *obs.Registry
+}
 
-func (udpNetwork) NewEndpoint(addr transport.Addr) (transport.Endpoint, error) {
-	return transport.ListenUDP(string(addr), addr)
+func (n udpNetwork) NewEndpoint(addr transport.Addr) (transport.Endpoint, error) {
+	return transport.ListenUDP(string(addr), addr, n.reg)
 }
 
 func main() {
@@ -51,6 +56,7 @@ func run(args []string) error {
 	movie := fs.String("movie", "casablanca", "movie ID to watch")
 	statsEvery := fs.Duration("stats", time.Second, "stats print period")
 	seek := fs.Uint("seek", 0, "seek to this frame 5 seconds in (0 = no seek)")
+	debugAddr := fs.String("debug-addr", "", "HTTP address serving the observability snapshot as JSON (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,11 +71,13 @@ func run(args []string) error {
 		return fmt.Errorf("no servers given (-servers)")
 	}
 
+	reg := obs.NewRegistry(*listen, nil)
 	c, err := client.New(client.Config{
 		ID:      *listen,
 		Clock:   clock.Real{},
-		Network: udpNetwork{},
+		Network: udpNetwork{reg: reg},
 		Servers: serverList,
+		Obs:     reg,
 	})
 	if err != nil {
 		return err
@@ -79,6 +87,18 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("watching %q via %s\n", *movie, *servers)
+
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/debug/vod", reg)
+		go func() { _ = http.Serve(ln, mux) }()
+		fmt.Printf("debug counters at http://%s/debug/vod\n", ln.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -14,6 +14,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -22,15 +24,18 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/mpeg"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/transport"
 )
 
-type udpNetwork struct{}
+type udpNetwork struct {
+	reg *obs.Registry
+}
 
-func (udpNetwork) NewEndpoint(addr transport.Addr) (transport.Endpoint, error) {
-	return transport.ListenUDP(string(addr), addr)
+func (n udpNetwork) NewEndpoint(addr transport.Addr) (transport.Endpoint, error) {
+	return transport.ListenUDP(string(addr), addr, n.reg)
 }
 
 func main() {
@@ -48,6 +53,7 @@ func run(args []string) error {
 	movieDir := fs.String("moviedir", "", "directory of .vodm movie files (overrides -movies; see store.SaveTo)")
 	seed := fs.Int64("seed", 1, "movie generation seed (must match on all servers)")
 	statsEvery := fs.Duration("stats", 10*time.Second, "stats print period (0 disables)")
+	debugAddr := fs.String("debug-addr", "", "HTTP address serving the observability snapshot as JSON (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,12 +91,14 @@ func run(args []string) error {
 		peerList = strings.Split(*peers, ",")
 	}
 
+	reg := obs.NewRegistry(*listen, nil)
 	s, err := server.New(server.Config{
 		ID:      *listen,
 		Clock:   clock.Real{},
-		Network: udpNetwork{},
+		Network: udpNetwork{reg: reg},
 		Catalog: catalog,
 		Peers:   peerList,
+		Obs:     reg,
 	})
 	if err != nil {
 		return err
@@ -100,6 +108,18 @@ func run(args []string) error {
 	}
 	defer s.Stop()
 	fmt.Printf("server %s up; peers: %v\n", *listen, peerList)
+
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/debug/vod", reg)
+		go func() { _ = http.Serve(ln, mux) }()
+		fmt.Printf("debug counters at http://%s/debug/vod\n", ln.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

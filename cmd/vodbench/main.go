@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -41,6 +42,7 @@ func run(args []string) error {
 	table := fs.String("table", "", "table to regenerate (see package doc, or all)")
 	list := fs.Bool("list", false, "list available figures and tables, then exit")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	stats := fs.Bool("stats", false, "dump per-node observability counters for the LAN and WAN scenarios, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,6 +51,33 @@ func run(args []string) error {
 	if *list {
 		fmt.Fprintln(out, "figures:", sim.FigureIDs())
 		fmt.Fprintln(out, "tables: ", sim.TableIDs())
+		return nil
+	}
+	if *stats {
+		for _, sc := range []sim.Scenario{sim.LANScenario(*seed), sim.WANScenario(*seed)} {
+			res := sim.Run(sc)
+			fmt.Fprintf(out, "== %s: observability counters ==\n", res.Name)
+			nodes := make([]string, 0, len(res.Obs))
+			for id := range res.Obs {
+				nodes = append(nodes, id)
+			}
+			sort.Strings(nodes)
+			for _, id := range nodes {
+				snap := res.Obs[id]
+				names := make([]string, 0, len(snap.Counters))
+				for name := range snap.Counters {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				for _, name := range names {
+					fmt.Fprintf(out, "%-12s %-28s %d\n", id, name, snap.Counters[name])
+				}
+				for _, ev := range snap.Events {
+					fmt.Fprintf(out, "%-12s event %-21s %s (%s)\n", id, ev.Kind, ev.Note, ev.At.Format("15:04:05.000"))
+				}
+			}
+			fmt.Fprintln(out)
+		}
 		return nil
 	}
 	all := *fig == "" && *table == ""

@@ -17,6 +17,7 @@ import (
 	"repro/internal/congress"
 	"repro/internal/flowctl"
 	"repro/internal/gcs"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -76,6 +77,9 @@ type Config struct {
 	OpenTimeout time.Duration
 	// GCS optionally overrides group-communication timing.
 	GCS gcs.Config
+	// Obs, when set, receives the client.* counters, occupancy gauges and
+	// trace events, and is forwarded to the embedded GCS process.
+	Obs *obs.Registry
 }
 
 func (c *Config) fillDefaults() error {
@@ -105,12 +109,32 @@ type Stats struct {
 	VCRSent         uint64 // VCR commands multicast
 }
 
+// clientCounters mirror the interesting playback events into the obs
+// registry. The buffer package keeps its own cumulative Counters; the
+// client publishes deltas from displayTick so the pipeline stays
+// observability-free.
+type clientCounters struct {
+	opensSent  *obs.Counter // client.opens_sent
+	flowSent   *obs.Counter // client.flow_sent
+	emergSent  *obs.Counter // client.emergencies_sent
+	vcrSent    *obs.Counter // client.vcr_sent
+	framesRecv *obs.Counter // client.frames_received
+	stalls     *obs.Counter // client.stalls
+	lateFrames *obs.Counter // client.late_frames
+	skipped    *obs.Counter // client.skipped_frames
+
+	swOcc       *obs.Gauge // client.sw_occupancy (frames)
+	combinedOcc *obs.Gauge // client.combined_occupancy (frames)
+	hwBytes     *obs.Gauge // client.hw_occupancy_bytes
+}
+
 // Client is one VoD client instance.
 type Client struct {
 	cfg  Config
 	mux  *transport.Mux
 	proc *gcs.Process
 	vid  transport.Endpoint
+	ctr  clientCounters
 
 	resolver *congress.Resolver
 
@@ -128,6 +152,10 @@ type Client struct {
 	serverIdx   int
 	paused      bool
 	stats       Stats
+
+	// Last buffer.Counters values already published to obs; displayTick
+	// adds only the delta since the previous tick.
+	obsSeen buffer.Counters
 
 	// Inter-arrival jitter estimate (RFC 3550-style EWMA over the
 	// deviation of consecutive-frame arrival intervals from the nominal
@@ -150,6 +178,7 @@ func New(cfg Config) (*Client, error) {
 	gcfg := cfg.GCS
 	gcfg.Clock = cfg.Clock
 	gcfg.Endpoint = mux.Channel(transport.ChannelGCS)
+	gcfg.Obs = cfg.Obs
 
 	c := &Client{
 		cfg:     cfg,
@@ -158,6 +187,19 @@ func New(cfg Config) (*Client, error) {
 		vid:     mux.Channel(transport.ChannelVideo),
 		state:   StateIdle,
 		servers: append([]string(nil), cfg.Servers...),
+		ctr: clientCounters{
+			opensSent:   cfg.Obs.Counter("client.opens_sent"),
+			flowSent:    cfg.Obs.Counter("client.flow_sent"),
+			emergSent:   cfg.Obs.Counter("client.emergencies_sent"),
+			vcrSent:     cfg.Obs.Counter("client.vcr_sent"),
+			framesRecv:  cfg.Obs.Counter("client.frames_received"),
+			stalls:      cfg.Obs.Counter("client.stalls"),
+			lateFrames:  cfg.Obs.Counter("client.late_frames"),
+			skipped:     cfg.Obs.Counter("client.skipped_frames"),
+			swOcc:       cfg.Obs.Gauge("client.sw_occupancy"),
+			combinedOcc: cfg.Obs.Gauge("client.combined_occupancy"),
+			hwBytes:     cfg.Obs.Gauge("client.hw_occupancy_bytes"),
+		},
 	}
 	if cfg.Directory != "" {
 		c.resolver = congress.NewResolver(cfg.Clock,
@@ -274,6 +316,7 @@ func (c *Client) sendOpen() {
 	target := transport.Addr(c.servers[c.serverIdx%len(c.servers)])
 	c.serverIdx++
 	c.stats.OpensSent++
+	c.ctr.opensSent.Inc()
 	open := &wire.Open{
 		ClientID:   c.cfg.ID,
 		ClientAddr: c.cfg.ID,
@@ -349,6 +392,7 @@ func (c *Client) onVideo(_ transport.Addr, payload []byte) {
 	}
 	c.lastArrival, c.lastIndex = now, frame.Index
 
+	c.ctr.framesRecv.Inc()
 	c.pipeline.Insert(buffer.FrameMeta{
 		Index: frame.Index,
 		Class: frame.Class,
@@ -360,8 +404,11 @@ func (c *Client) onVideo(_ transport.Addr, payload []byte) {
 	session := c.session
 	if due && session != nil {
 		c.stats.FlowSent++
+		c.ctr.flowSent.Inc()
 		if kind == wire.FlowEmergencyMajor || kind == wire.FlowEmergencyMinor {
 			c.stats.EmergenciesSent++
+			c.ctr.emergSent.Inc()
+			c.cfg.Obs.Event("client.emergency", fmt.Sprintf("%s occ=%d", c.cfg.ID, occ.CombinedFrames))
 		}
 		pkt = wire.Encode(&wire.FlowControl{
 			ClientID:  c.cfg.ID,
@@ -395,7 +442,23 @@ func (c *Client) displayTick() {
 		return
 	}
 	c.pipeline.Tick()
+	c.publishObsLocked()
 	c.mu.Unlock()
+}
+
+// publishObsLocked folds the pipeline's cumulative counters into the obs
+// registry as deltas and refreshes the occupancy gauges. Caller holds c.mu.
+func (c *Client) publishObsLocked() {
+	cur := c.pipeline.Counters()
+	c.ctr.stalls.Add(cur.Stalls - c.obsSeen.Stalls)
+	c.ctr.lateFrames.Add(cur.Late - c.obsSeen.Late)
+	c.ctr.skipped.Add(cur.Skipped() - c.obsSeen.Skipped())
+	c.obsSeen = cur
+
+	occ := c.pipeline.Occupancy()
+	c.ctr.swOcc.Set(int64(occ.SoftwareFrames))
+	c.ctr.combinedOcc.Set(int64(occ.CombinedFrames))
+	c.ctr.hwBytes.Set(int64(occ.HardwareBytes))
 }
 
 // sendVCR multicasts a VCR command into the session group.
@@ -407,6 +470,7 @@ func (c *Client) sendVCR(op wire.VCROp, arg uint32) error {
 		return fmt.Errorf("client %s: no active session", c.cfg.ID)
 	}
 	c.stats.VCRSent++
+	c.ctr.vcrSent.Inc()
 	c.mu.Unlock()
 	return session.Multicast(wire.Encode(&wire.VCR{ClientID: c.cfg.ID, Op: op, Arg: arg}))
 }

@@ -1,6 +1,8 @@
 package gcs
 
 import (
+	"fmt"
+
 	"repro/internal/clock"
 )
 
@@ -176,6 +178,7 @@ func (m *Member) onProposeLocked(msg *msgPropose, cb *callbacks) {
 		if m.status == statusNormal {
 			m.status = statusFlushing
 			m.flushOldView = m.view
+			m.p.ctr.flushRounds.Inc()
 		}
 		if m.prop != nil && m.prop.pid != msg.pid {
 			// Our own proposal lost; stand down as coordinator.
@@ -376,6 +379,9 @@ func (m *Member) onInstallLocked(msg *msgInstall, cb *callbacks) {
 	m.view = View{Group: m.group, ID: msg.view, Members: members}
 	m.ms = newMcastState(members)
 	m.status = statusNormal
+	m.p.ctr.viewChanges.Inc()
+	m.p.cfg.Obs.Event("gcs.view",
+		fmt.Sprintf("%s %s members=%d", m.group, msg.view, len(members)))
 	m.cutTargets = nil
 	m.sentCutDone = false
 	m.flushCandidates = nil
@@ -442,6 +448,7 @@ func (m *Member) flushTickLocked(cb *callbacks) {
 			nak := encodeNak(&msgNak{group: m.group, view: m.flushOldView.ID, sender: sender, from: lo, to: hi})
 			for _, id := range m.flushOldView.Members {
 				if id != m.p.id && !m.p.fd.isSuspectedLocked(id) {
+					m.p.ctr.naksSent.Inc()
 					_ = m.p.cfg.Endpoint.Send(id, nak)
 				}
 			}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -91,6 +92,10 @@ type Config struct {
 	Clock    clock.Clock
 	Endpoint transport.Endpoint
 
+	// Obs, when set, receives the process's gcs.* counters and trace
+	// events (view changes, suspicions, NAK/retransmission activity).
+	Obs *obs.Registry
+
 	// HeartbeatInterval is the failure-detector ping period (default 100ms).
 	HeartbeatInterval time.Duration
 	// SuspectTimeout is how long a silent peer stays unsuspected (default
@@ -142,6 +147,7 @@ var (
 type Process struct {
 	cfg Config
 	id  ProcessID
+	ctr procCounters
 
 	mu      sync.Mutex
 	closed  bool
@@ -152,6 +158,16 @@ type Process struct {
 	hbTask *clock.Periodic
 }
 
+// procCounters are the protocol counters, resolved once at NewProcess so
+// updates on lock-held paths stay a single atomic add.
+type procCounters struct {
+	suspicions  *obs.Counter // gcs.fd_suspicions
+	viewChanges *obs.Counter // gcs.view_changes (installs, beyond the singleton)
+	flushRounds *obs.Counter // gcs.flush_rounds (entries into the flush phase)
+	naksSent    *obs.Counter // gcs.naks_sent (gap-repair requests)
+	retransmits *obs.Counter // gcs.retransmissions (messages re-sent on NAK)
+}
+
 // NewProcess creates a Process on cfg.Endpoint and starts its failure
 // detector. The caller must eventually Close it.
 func NewProcess(cfg Config) *Process {
@@ -160,6 +176,13 @@ func NewProcess(cfg Config) *Process {
 		cfg:     cfg,
 		id:      cfg.Endpoint.Addr(),
 		members: make(map[string]*Member),
+		ctr: procCounters{
+			suspicions:  cfg.Obs.Counter("gcs.fd_suspicions"),
+			viewChanges: cfg.Obs.Counter("gcs.view_changes"),
+			flushRounds: cfg.Obs.Counter("gcs.flush_rounds"),
+			naksSent:    cfg.Obs.Counter("gcs.naks_sent"),
+			retransmits: cfg.Obs.Counter("gcs.retransmissions"),
+		},
 	}
 	p.fd = newDetector(p)
 	cfg.Endpoint.SetHandler(p.onPacket)
@@ -256,6 +279,8 @@ func (p *Process) heartbeatTick() {
 	var cb callbacks
 	newlySuspected := p.fd.checkLocked()
 	for _, s := range newlySuspected {
+		p.ctr.suspicions.Inc()
+		p.cfg.Obs.Event("gcs.suspect", string(s))
 		for _, m := range p.members {
 			m.onSuspicionLocked(s, &cb)
 		}

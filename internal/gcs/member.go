@@ -456,6 +456,7 @@ func (m *Member) onNakLocked(from ProcessID, msg *msgNak) {
 			seq:     seq,
 			payload: payload,
 		})
+		m.p.ctr.retransmits.Inc()
 		_ = m.p.cfg.Endpoint.Send(from, pkt)
 	}
 }
@@ -494,6 +495,7 @@ func (m *Member) onAckVecLocked(from ProcessID, msg *msgAckVec, cb *callbacks) {
 			from:   mine,
 			to:     theirs,
 		})
+		m.p.ctr.naksSent.Inc()
 		_ = m.p.cfg.Endpoint.Send(from, nak)
 	}
 	if msg.contig != nil {
@@ -774,6 +776,7 @@ func (m *Member) retransTick() {
 			}
 			if hi > lo {
 				pkt := encodeNak(&msgNak{group: m.group, view: m.view.ID, sender: sender, from: lo, to: hi})
+				m.p.ctr.naksSent.Inc()
 				_ = m.p.cfg.Endpoint.Send(sender, pkt)
 			}
 		}

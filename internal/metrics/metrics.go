@@ -7,11 +7,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"time"
 )
 
-// Series is a named time series: (elapsed time, value) samples in
-// append order.
+// Series is a named time series: (elapsed time, value) samples kept
+// sorted by time. The sampler appends in clock order, so Add is O(1) in
+// the common case; an out-of-order sample is insert-sorted to preserve
+// the invariant the binary-search accessors rely on.
 type Series struct {
 	Name   string
 	Times  []time.Duration
@@ -21,10 +24,30 @@ type Series struct {
 // NewSeries returns an empty series.
 func NewSeries(name string) *Series { return &Series{Name: name} }
 
-// Add appends a sample.
+// Add inserts a sample, keeping Times sorted.
 func (s *Series) Add(t time.Duration, v float64) {
-	s.Times = append(s.Times, t)
-	s.Values = append(s.Values, v)
+	if n := len(s.Times); n == 0 || s.Times[n-1] <= t {
+		s.Times = append(s.Times, t)
+		s.Values = append(s.Values, v)
+		return
+	}
+	i := sort.Search(len(s.Times), func(i int) bool { return s.Times[i] > t })
+	s.Times = append(s.Times, 0)
+	s.Values = append(s.Values, 0)
+	copy(s.Times[i+1:], s.Times[i:])
+	copy(s.Values[i+1:], s.Values[i:])
+	s.Times[i] = t
+	s.Values[i] = v
+}
+
+// searchAfter returns the index of the first sample with time > t.
+func (s *Series) searchAfter(t time.Duration) int {
+	return sort.Search(len(s.Times), func(i int) bool { return s.Times[i] > t })
+}
+
+// searchAtOrAfter returns the index of the first sample with time ≥ t.
+func (s *Series) searchAtOrAfter(t time.Duration) int {
+	return sort.Search(len(s.Times), func(i int) bool { return s.Times[i] >= t })
 }
 
 // Len returns the number of samples.
@@ -40,14 +63,11 @@ func (s *Series) Last() float64 {
 
 // At returns the value of the latest sample at or before t (0 if none).
 func (s *Series) At(t time.Duration) float64 {
-	v := 0.0
-	for i, st := range s.Times {
-		if st > t {
-			break
-		}
-		v = s.Values[i]
+	i := s.searchAfter(t)
+	if i == 0 {
+		return 0
 	}
-	return v
+	return s.Values[i-1]
 }
 
 // Max returns the largest value (0 for an empty series).
@@ -80,43 +100,43 @@ func (s *Series) Min() float64 {
 
 // MeanBetween averages the samples with from ≤ t < to; 0 if none.
 func (s *Series) MeanBetween(from, to time.Duration) float64 {
-	sum, n := 0.0, 0
-	for i, t := range s.Times {
-		if t >= from && t < to {
-			sum += s.Values[i]
-			n++
-		}
-	}
-	if n == 0 {
+	lo, hi := s.searchAtOrAfter(from), s.searchAtOrAfter(to)
+	if lo >= hi {
 		return 0
 	}
-	return sum / float64(n)
+	sum := 0.0
+	for _, v := range s.Values[lo:hi] {
+		sum += v
+	}
+	return sum / float64(hi-lo)
 }
 
 // MinBetween returns the smallest sample with from ≤ t < to (0 if none).
 func (s *Series) MinBetween(from, to time.Duration) float64 {
-	min := math.Inf(1)
-	for i, t := range s.Times {
-		if t >= from && t < to && s.Values[i] < min {
-			min = s.Values[i]
-		}
-	}
-	if math.IsInf(min, 1) {
+	lo, hi := s.searchAtOrAfter(from), s.searchAtOrAfter(to)
+	if lo >= hi {
 		return 0
+	}
+	min := math.Inf(1)
+	for _, v := range s.Values[lo:hi] {
+		if v < min {
+			min = v
+		}
 	}
 	return min
 }
 
 // MaxBetween returns the largest sample with from ≤ t < to (0 if none).
 func (s *Series) MaxBetween(from, to time.Duration) float64 {
-	max := math.Inf(-1)
-	for i, t := range s.Times {
-		if t >= from && t < to && s.Values[i] > max {
-			max = s.Values[i]
-		}
-	}
-	if math.IsInf(max, -1) {
+	lo, hi := s.searchAtOrAfter(from), s.searchAtOrAfter(to)
+	if lo >= hi {
 		return 0
+	}
+	max := math.Inf(-1)
+	for _, v := range s.Values[lo:hi] {
+		if v > max {
+			max = v
+		}
 	}
 	return max
 }

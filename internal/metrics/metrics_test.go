@@ -110,3 +110,56 @@ func TestNegativeValues(t *testing.T) {
 		t.Fatalf("Max/Min with negatives: %v/%v", s.Max(), s.Min())
 	}
 }
+
+func TestSeriesOutOfOrderAdd(t *testing.T) {
+	s := NewSeries("ooo")
+	s.Add(1*time.Second, 10)
+	s.Add(3*time.Second, 30)
+	s.Add(2*time.Second, 20) // late sample must insert-sort, not corrupt
+	for i := 1; i < len(s.Times); i++ {
+		if s.Times[i-1] > s.Times[i] {
+			t.Fatalf("Times not sorted after out-of-order Add: %v", s.Times)
+		}
+	}
+	if got := s.At(2 * time.Second); got != 20 {
+		t.Fatalf("At(2s) = %v, want 20", got)
+	}
+	if got := s.At(2500 * time.Millisecond); got != 20 {
+		t.Fatalf("At(2.5s) = %v, want 20", got)
+	}
+	if got := s.MeanBetween(1*time.Second, 4*time.Second); got != 20 {
+		t.Fatalf("MeanBetween = %v, want 20", got)
+	}
+}
+
+func TestSeriesBinarySearchBounds(t *testing.T) {
+	s := NewSeries("bounds")
+	if s.At(time.Second) != 0 {
+		t.Fatal("At on empty series != 0")
+	}
+	for i := 0; i < 100; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	if got := s.At(0); got != 0 {
+		t.Fatalf("At(first) = %v", got)
+	}
+	if got := s.At(-time.Second); got != 0 {
+		t.Fatalf("At(before first) = %v, want 0", got)
+	}
+	if got := s.At(99 * time.Second); got != 99 {
+		t.Fatalf("At(last) = %v", got)
+	}
+	if got := s.At(time.Hour); got != 99 {
+		t.Fatalf("At(past end) = %v", got)
+	}
+	// Half-open window semantics: from inclusive, to exclusive.
+	if got := s.MinBetween(10*time.Second, 12*time.Second); got != 10 {
+		t.Fatalf("MinBetween = %v, want 10", got)
+	}
+	if got := s.MaxBetween(10*time.Second, 12*time.Second); got != 11 {
+		t.Fatalf("MaxBetween = %v, want 11", got)
+	}
+	if got := s.MeanBetween(5*time.Second, 5*time.Second); got != 0 {
+		t.Fatalf("empty window mean = %v, want 0", got)
+	}
+}

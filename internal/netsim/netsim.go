@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -82,6 +83,12 @@ type Network struct {
 	egress    map[transport.Addr]int64 // shared NIC rate, bytes/s (0 = none)
 	egressQ   map[transport.Addr]*linkState
 	stats     Stats
+
+	obs      *obs.Registry
+	ctrSent  *obs.Counter // netsim.sent
+	ctrDeliv *obs.Counter // netsim.delivered
+	ctrDrop  *obs.Counter // netsim.dropped
+	ctrBytes *obs.Counter // netsim.delivered_bytes
 }
 
 var _ transport.Network = (*Network)(nil)
@@ -95,7 +102,7 @@ type linkState struct {
 // New creates a network on clk with the given default link profile. All
 // randomness (loss, jitter, duplication) derives from seed.
 func New(clk clock.Clock, seed int64, def Profile) *Network {
-	return &Network{
+	n := &Network{
 		clk:       clk,
 		rng:       rand.New(rand.NewSource(seed)),
 		def:       def,
@@ -106,6 +113,22 @@ func New(clk clock.Clock, seed int64, def Profile) *Network {
 		egress:    make(map[transport.Addr]int64),
 		egressQ:   make(map[transport.Addr]*linkState),
 	}
+	n.SetObs(nil)
+	return n
+}
+
+// SetObs attaches an observability registry: the network-wide counters are
+// mirrored there, and fault injections (crashes, partitions, link failures)
+// leave trace events. A nil registry detaches (counters become unregistered
+// no-op instances).
+func (n *Network) SetObs(reg *obs.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.obs = reg
+	n.ctrSent = reg.Counter("netsim.sent")
+	n.ctrDeliv = reg.Counter("netsim.delivered")
+	n.ctrDrop = reg.Counter("netsim.dropped")
+	n.ctrBytes = reg.Counter("netsim.delivered_bytes")
 }
 
 // SetEgressLimit caps a node's total outbound rate (bytes/s): all packets
@@ -156,9 +179,11 @@ func (n *Network) SetLinkDown(a, b transport.Addr, down bool) {
 	if down {
 		n.blocked[pair{a, b}] = true
 		n.blocked[pair{b, a}] = true
+		n.obs.Event("netsim.link_down", string(a)+" <-> "+string(b))
 	} else {
 		delete(n.blocked, pair{a, b})
 		delete(n.blocked, pair{b, a})
+		n.obs.Event("netsim.link_up", string(a)+" <-> "+string(b))
 	}
 }
 
@@ -168,6 +193,7 @@ func (n *Network) SetLinkDown(a, b transport.Addr, down bool) {
 func (n *Network) Partition(groups ...[]transport.Addr) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.obs.Event("netsim.partition", fmt.Sprintf("%d groups", len(groups)))
 	for i := range groups {
 		for j := range groups {
 			if i == j {
@@ -186,6 +212,7 @@ func (n *Network) Partition(groups ...[]transport.Addr) {
 func (n *Network) Heal() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.obs.Event("netsim.heal", "all blocks cleared")
 	n.blocked = make(map[pair]bool)
 }
 
@@ -195,6 +222,7 @@ func (n *Network) Heal() {
 func (n *Network) Crash(addr transport.Addr) {
 	n.mu.Lock()
 	ep := n.nodes[addr]
+	n.obs.Event("netsim.crash", string(addr))
 	n.mu.Unlock()
 	if ep != nil {
 		_ = ep.Close()
@@ -214,14 +242,17 @@ func (n *Network) send(from, to transport.Addr, payload []byte) error {
 	defer n.mu.Unlock()
 
 	n.stats.Sent++
+	n.ctrSent.Inc()
 	if _, ok := n.nodes[to]; !ok {
 		// Sending to an address that never existed is a harness bug;
 		// sending to a crashed node is normal (its entry is kept, closed).
 		n.stats.Dropped++
+		n.ctrDrop.Inc()
 		return fmt.Errorf("netsim: send %s→%s: %w", from, to, transport.ErrNoRoute)
 	}
 	if n.blocked[pair{from, to}] {
 		n.stats.Dropped++
+		n.ctrDrop.Inc()
 		return nil // silently lost, like a partitioned UDP packet
 	}
 
@@ -231,6 +262,7 @@ func (n *Network) send(from, to transport.Addr, payload []byte) error {
 	}
 	if prof.Loss > 0 && n.rng.Float64() < prof.Loss {
 		n.stats.Dropped++
+		n.ctrDrop.Inc()
 		return nil
 	}
 
@@ -300,11 +332,14 @@ func (n *Network) deliver(from, to transport.Addr, data []byte) {
 	}
 	if h == nil {
 		n.stats.Dropped++
+		n.ctrDrop.Inc()
 		n.mu.Unlock()
 		return
 	}
 	n.stats.Delivered++
 	n.stats.Bytes += uint64(len(data))
+	n.ctrDeliv.Inc()
+	n.ctrBytes.Add(uint64(len(data)))
 	n.mu.Unlock()
 	h(from, data)
 }

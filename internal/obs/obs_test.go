@@ -1,0 +1,180 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := obs.NewRegistry("node-1", nil)
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("Counter is not idempotent per name")
+	}
+	g := r.Gauge("a.level")
+	g.Set(-7)
+	if got := g.Load(); got != -7 {
+		t.Fatalf("gauge = %d, want -7", got)
+	}
+
+	snap := r.Snapshot()
+	if snap.Node != "node-1" {
+		t.Fatalf("snapshot node = %q", snap.Node)
+	}
+	if snap.Counters["a.count"] != 5 || snap.Gauges["a.level"] != -7 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *obs.Registry
+	c := r.Counter("x")
+	c.Inc() // must not panic, and must still count
+	if c.Load() != 1 {
+		t.Fatal("unregistered counter does not count")
+	}
+	r.Gauge("y").Set(3)
+	r.Event("kind", "note")
+	snap := r.Snapshot()
+	if snap.Node != "" || len(snap.Counters) != 0 {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+}
+
+func TestTraceRingOverwrite(t *testing.T) {
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	r := obs.NewRegistry("n", func() time.Time { return now })
+	for i := 0; i < obs.DefaultTraceDepth+10; i++ {
+		r.Event("k", fmt.Sprintf("e%d", i))
+	}
+	snap := r.Snapshot()
+	if len(snap.Events) != obs.DefaultTraceDepth {
+		t.Fatalf("trace holds %d events, want %d", len(snap.Events), obs.DefaultTraceDepth)
+	}
+	if snap.Dropped != 10 {
+		t.Fatalf("dropped = %d, want 10", snap.Dropped)
+	}
+	// Oldest surviving event first.
+	if snap.Events[0].Note != "e10" {
+		t.Fatalf("first event = %q, want e10", snap.Events[0].Note)
+	}
+	last := snap.Events[len(snap.Events)-1]
+	if last.Note != fmt.Sprintf("e%d", obs.DefaultTraceDepth+9) {
+		t.Fatalf("last event = %q", last.Note)
+	}
+	if !last.At.Equal(now) {
+		t.Fatalf("event timestamp = %v, want the injected clock's %v", last.At, now)
+	}
+}
+
+// TestConcurrentCountersAndSnapshot hammers the registry from many
+// goroutines while snapshots are taken; run under -race this is the
+// tentpole's concurrency-safety check.
+func TestConcurrentCountersAndSnapshot(t *testing.T) {
+	r := obs.NewRegistry("n", nil)
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared").Inc()
+				r.Counter(fmt.Sprintf("own.%d", w)).Inc()
+				r.Gauge("level").Set(int64(i))
+				if i%100 == 0 {
+					r.Event("tick", "note")
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	snap := r.Snapshot()
+	if got := snap.Counters["shared"]; got != workers*perWorker {
+		t.Fatalf("shared = %d, want %d", got, workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		if got := snap.Counters[fmt.Sprintf("own.%d", w)]; got != perWorker {
+			t.Fatalf("own.%d = %d, want %d", w, got, perWorker)
+		}
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	r := obs.NewRegistry("node-9", nil)
+	r.Counter("c").Add(42)
+	r.Event("boot", "hello")
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vod", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("body is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if snap.Node != "node-9" || snap.Counters["c"] != 42 || len(snap.Events) != 1 {
+		t.Fatalf("decoded snapshot = %+v", snap)
+	}
+}
+
+func TestHandlerMultipleRegistries(t *testing.T) {
+	a := obs.NewRegistry("a", nil)
+	b := obs.NewRegistry("b", nil)
+	a.Counter("x").Inc()
+
+	rec := httptest.NewRecorder()
+	obs.Handler(a, b).ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	var snaps []obs.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snaps); err != nil {
+		t.Fatalf("body is not a JSON array: %v", err)
+	}
+	if len(snaps) != 2 || snaps[0].Node != "a" || snaps[1].Node != "b" {
+		t.Fatalf("snapshots = %+v", snaps)
+	}
+}
+
+func TestNames(t *testing.T) {
+	r := obs.NewRegistry("n", nil)
+	r.Counter("zeta")
+	r.Counter("alpha")
+	r.Gauge("mid")
+	snap := r.Snapshot()
+	if got := snap.CounterNames(); len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("CounterNames = %v", got)
+	}
+	if got := snap.GaugeNames(); len(got) != 1 || got[0] != "mid" {
+		t.Fatalf("GaugeNames = %v", got)
+	}
+}

@@ -62,6 +62,8 @@ func (ms *movieState) syncTick() {
 	pkt := wire.Encode(msg)
 	s.stats.SyncMessages++
 	s.stats.SyncBytes += uint64(len(pkt))
+	s.ctr.syncMessages.Inc()
+	s.ctr.syncBytes.Add(uint64(len(pkt)))
 	member := ms.member
 	s.mu.Unlock()
 
@@ -151,7 +153,10 @@ func (ms *movieState) resolveDuplicateLocked(from gcs.ProcessID, rec wire.Client
 	}
 	sess.stopLocked()
 	delete(ms.srv.sessions, rec.ClientID)
+	ms.srv.noteSessionsLocked()
 	ms.srv.stats.Releases++
+	ms.srv.ctr.releases.Inc()
+	ms.srv.cfg.Obs.Event("server.duplicate_release", rec.ClientID+" vs "+string(from))
 }
 
 // mergeLocked folds one record in, newest SentAt winning. Caller holds
@@ -230,6 +235,8 @@ func (ms *movieState) onView(v gcs.View) {
 	pkt := wire.Encode(msg)
 	s.stats.SyncMessages++
 	s.stats.SyncBytes += uint64(len(pkt))
+	s.ctr.syncMessages.Inc()
+	s.ctr.syncBytes.Add(uint64(len(pkt)))
 	member := ms.member
 	seq := v.ID.Seq
 	ms.exchangeTimer = s.cfg.Clock.AfterFunc(2*s.cfg.SyncInterval, func() {
@@ -277,10 +284,14 @@ func (ms *movieState) redistributeLocked() {
 			rec := ms.clients[id]
 			s.startSessionLocked(rec, ms.movie, true)
 			s.stats.Takeovers++
+			s.ctr.takeovers.Inc()
+			s.cfg.Obs.Event("server.takeover", id+" movie="+ms.movie.ID())
 		case owner != gcs.ProcessID(s.cfg.ID) && mine:
 			sess.stopLocked()
 			delete(s.sessions, id)
+			s.noteSessionsLocked()
 			s.stats.Releases++
+			s.ctr.releases.Inc()
 		}
 	}
 }

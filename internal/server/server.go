@@ -25,6 +25,7 @@ import (
 	"repro/internal/fetch"
 	"repro/internal/flowctl"
 	"repro/internal/gcs"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -84,6 +85,9 @@ type Config struct {
 	// GCS optionally overrides group-communication timing (Clock and
 	// Endpoint fields are ignored).
 	GCS gcs.Config
+	// Obs, when set, receives the server's server.* counters and trace
+	// events, and is forwarded to the embedded GCS process.
+	Obs *obs.Registry
 }
 
 func (c *Config) fillDefaults() error {
@@ -133,6 +137,23 @@ type Server struct {
 	provider    *fetch.Provider
 	fetcher     *fetch.Fetcher
 	stats       Stats
+	ctr         serverCounters
+}
+
+// serverCounters mirrors Stats into the observability registry so the
+// debug endpoint and scenario snapshots see live values; resolved once at
+// New so each update is a single atomic add.
+type serverCounters struct {
+	sessionsOpened *obs.Counter
+	takeovers      *obs.Counter
+	releases       *obs.Counter
+	framesSent     *obs.Counter
+	videoBytes     *obs.Counter
+	framesThinned  *obs.Counter
+	emergencies    *obs.Counter
+	syncMessages   *obs.Counter
+	syncBytes      *obs.Counter
+	activeSessions *obs.Gauge
 }
 
 // New creates a server. Call Start to bring it online.
@@ -149,6 +170,7 @@ func New(cfg Config) (*Server, error) {
 	gcfg := cfg.GCS
 	gcfg.Clock = cfg.Clock
 	gcfg.Endpoint = mux.Channel(transport.ChannelGCS)
+	gcfg.Obs = cfg.Obs
 	s := &Server{
 		cfg:      cfg,
 		mux:      mux,
@@ -156,6 +178,18 @@ func New(cfg Config) (*Server, error) {
 		vid:      mux.Channel(transport.ChannelVideo),
 		movies:   make(map[string]*movieState),
 		sessions: make(map[string]*session),
+		ctr: serverCounters{
+			sessionsOpened: cfg.Obs.Counter("server.sessions_opened"),
+			takeovers:      cfg.Obs.Counter("server.takeovers"),
+			releases:       cfg.Obs.Counter("server.releases"),
+			framesSent:     cfg.Obs.Counter("server.frames_sent"),
+			videoBytes:     cfg.Obs.Counter("server.video_bytes"),
+			framesThinned:  cfg.Obs.Counter("server.frames_thinned"),
+			emergencies:    cfg.Obs.Counter("server.emergency_boosts"),
+			syncMessages:   cfg.Obs.Counter("server.sync_messages"),
+			syncBytes:      cfg.Obs.Counter("server.sync_bytes"),
+			activeSessions: cfg.Obs.Gauge("server.active_sessions"),
+		},
 	}
 	return s, nil
 }
@@ -261,6 +295,12 @@ func (s *Server) serveMovie(movieID string, contacts []gcs.ProcessID) error {
 // locking level.
 func (s *Server) later(f func()) {
 	s.cfg.Clock.AfterFunc(0, f)
+}
+
+// noteSessionsLocked refreshes the active-session gauge; called wherever
+// the sessions map changes size. Caller holds s.mu.
+func (s *Server) noteSessionsLocked() {
+	s.ctr.activeSessions.Set(int64(len(s.sessions)))
 }
 
 // Stop takes the server offline abruptly — equivalent to a crash as far as
@@ -369,6 +409,8 @@ func (s *Server) handleOpen(from gcs.ProcessID, open *wire.Open) {
 		}
 		s.startSessionLocked(rec, movie, false)
 		s.stats.SessionsOpened++
+		s.ctr.sessionsOpened.Inc()
+		s.cfg.Obs.Event("server.session_open", open.ClientID+" movie="+open.Movie)
 	}
 	ms := s.movies[open.Movie]
 	s.mu.Unlock()

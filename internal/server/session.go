@@ -60,6 +60,7 @@ func (s *Server) startSessionLocked(rec wire.ClientRecord, movie *mpeg.Movie, ta
 		}
 	}
 	s.sessions[rec.ClientID] = sess
+	s.noteSessionsLocked()
 	sess.decayTask = clock.Every(s.cfg.Clock, time.Second, func() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -176,6 +177,7 @@ func (sess *session) sendOne() {
 		} else {
 			send = false
 			s.stats.FramesThinned++
+			s.ctr.framesThinned.Inc()
 		}
 	}
 
@@ -194,6 +196,8 @@ func (sess *session) sendOne() {
 	dst := transport.Addr(sess.rec.ClientAddr)
 	s.stats.FramesSent++
 	s.stats.VideoBytes += uint64(len(pkt))
+	s.ctr.framesSent.Inc()
+	s.ctr.videoBytes.Add(uint64(len(pkt)))
 	sess.schedulePacingLocked()
 	s.mu.Unlock()
 
@@ -239,6 +243,8 @@ func (s *Server) handleSessionMessage(clientID string, _ gcs.ProcessID, payload 
 		sess.rate.OnRequest(msg.Request)
 		if !wasActive && sess.rate.EmergencyActive() {
 			s.stats.Emergencies++
+			s.ctr.emergencies.Inc()
+			s.cfg.Obs.Event("server.emergency_boost", clientID)
 		}
 		sess.rec.Rate = uint16(sess.rate.Base())
 	case *wire.VCR:
@@ -291,5 +297,6 @@ func (s *Server) handleVCRLocked(sess *session, msg *wire.VCR) {
 		}
 		sess.stopLocked()
 		delete(s.sessions, sess.rec.ClientID)
+		s.noteSessionsLocked()
 	}
 }

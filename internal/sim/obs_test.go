@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mpeg"
+	"repro/internal/netsim"
+)
+
+// TestObsCountersLANCrash asserts the observability layer's account of
+// the Figure 4a scenario: the crash at 39s causes exactly one takeover
+// (the surviving replica adopts the client), and the load-balance server
+// added at 63s causes exactly one more (the newcomer-first deal). The
+// counters are deterministic for a fixed seed.
+func TestObsCountersLANCrash(t *testing.T) {
+	res := Run(LANScenario(1))
+
+	var takeovers, viewChanges, opens uint64
+	for node, snap := range res.Obs {
+		takeovers += snap.Counters["server.takeovers"]
+		viewChanges += snap.Counters["gcs.view_changes"]
+		if node != "net" {
+			opens += snap.Counters["server.sessions_opened"]
+		}
+	}
+	if takeovers != 2 {
+		t.Errorf("total server.takeovers = %d, want 2 (crash takeover + load-balance migration)", takeovers)
+	}
+	if opens != 1 {
+		t.Errorf("server.sessions_opened = %d, want 1", opens)
+	}
+	if viewChanges == 0 {
+		t.Error("no gcs.view_changes counted anywhere; the view-install hook is dead")
+	}
+
+	// The crashed server must not have taken anything over, and the
+	// survivor must have registered the crash as a view change.
+	if snap, ok := res.Obs["server-1"]; !ok {
+		t.Fatal("no snapshot retained for the crashed server")
+	} else if snap.Counters["server.takeovers"] != 0 {
+		t.Errorf("crashed server counts %d takeovers", snap.Counters["server.takeovers"])
+	}
+	if snap := res.Obs["server-2"]; snap.Counters["server.takeovers"] != 1 {
+		t.Errorf("surviving server takeovers = %d, want 1", snap.Counters["server.takeovers"])
+	}
+	if snap := res.Obs["server-3"]; snap.Counters["server.takeovers"] != 1 {
+		t.Errorf("load-balance server takeovers = %d, want 1", snap.Counters["server.takeovers"])
+	}
+
+	// The network pseudo-node traced the fault injection, stamped in
+	// virtual time.
+	crashAt, _ := EventTimesLAN()
+	var sawCrash bool
+	for _, ev := range res.Obs["net"].Events {
+		if ev.Kind == "netsim.crash" && ev.Note == "server-1" {
+			sawCrash = true
+			if got := ev.At.Sub(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)); got != crashAt {
+				t.Errorf("crash event at %v of scenario time, want %v", got, crashAt)
+			}
+		}
+	}
+	if !sawCrash {
+		t.Error("netsim.crash event for server-1 missing from the net trace")
+	}
+
+	// The client's frame counter must agree with the buffer pipeline's
+	// own accounting.
+	cSnap := res.Obs["client-1"]
+	if got, want := cSnap.Counters["client.frames_received"], res.Final.Received; got != want {
+		t.Errorf("client.frames_received = %d, buffer counted %d", got, want)
+	}
+}
+
+// TestObsSnapshotsDeterministic runs the same scenario twice and expects
+// identical counter snapshots — the property that makes the obs layer
+// usable in regression assertions.
+func TestObsSnapshotsDeterministic(t *testing.T) {
+	a := Run(LANScenario(7))
+	b := Run(LANScenario(7))
+	if len(a.Obs) != len(b.Obs) {
+		t.Fatalf("node sets differ: %d vs %d", len(a.Obs), len(b.Obs))
+	}
+	for node, sa := range a.Obs {
+		sb, ok := b.Obs[node]
+		if !ok {
+			t.Fatalf("run B lost node %q", node)
+		}
+		for name, va := range sa.Counters {
+			if vb := sb.Counters[name]; vb != va {
+				t.Errorf("%s %s: %d vs %d across identical runs", node, name, va, vb)
+			}
+		}
+		if len(sa.Events) != len(sb.Events) {
+			t.Errorf("%s: %d vs %d trace events across identical runs", node, len(sa.Events), len(sb.Events))
+		}
+	}
+}
+
+// TestObsScopedPerNode ensures two servers in one process do not share
+// counters — the per-node scoping requirement.
+func TestObsScopedPerNode(t *testing.T) {
+	res := Run(Scenario{
+		Name:    "scoping",
+		Profile: netsim.LAN(),
+		Seed:    1,
+		Servers: []string{"server-1", "server-2"},
+		Movie:   mpeg.StreamConfig{Duration: 20 * time.Second},
+	})
+	s1 := res.Obs["server-1"].Counters["server.frames_sent"]
+	s2 := res.Obs["server-2"].Counters["server.frames_sent"]
+	if s1+s2 == 0 {
+		t.Fatal("no frames counted on either server")
+	}
+	// Exactly one server holds the single client's session; the other's
+	// frame counter must stay at zero.
+	if s1 != 0 && s2 != 0 {
+		t.Errorf("both servers counted frames (%d, %d); counters are not node-scoped", s1, s2)
+	}
+}

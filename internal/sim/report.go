@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -119,7 +120,7 @@ func TableIDs() []string {
 	return []string{
 		"flowctl", "emergency", "sync", "takeover", "faults",
 		"buffersweep", "emergencysweep", "syncsweep", "discard", "qos",
-		"capacity",
+		"capacity", "obs",
 	}
 }
 
@@ -148,6 +149,8 @@ func TableByID(id string, seed int64) (Table, error) {
 		return TableQoS(seed), nil
 	case "capacity":
 		return TableCapacity(seed), nil
+	case "obs":
+		return TableObservability(seed), nil
 	default:
 		return Table{}, fmt.Errorf("sim: unknown table %q (have %v)", id, TableIDs())
 	}
@@ -588,6 +591,39 @@ func TableQoS(seed int64) Table {
 			strconv.FormatUint(res.Final.MaxStallRun, 10),
 			res.ClientJitter.Truncate(100 * time.Microsecond).String(),
 		})
+	}
+	return t
+}
+
+// TableObservability dumps every node's obs counters after the LAN crash
+// scenario — the deterministic end-of-run snapshot of the cluster-wide
+// observability layer. Counter values are exactly reproducible for a
+// given seed, so this table doubles as a regression canary for the
+// protocol's message economy.
+func TableObservability(seed int64) Table {
+	res := Run(LANScenario(seed))
+	t := Table{
+		ID:     "Tbl O",
+		Title:  "per-node observability counters (90s LAN crash scenario)",
+		Header: []string{"node", "counter", "value"},
+	}
+	nodes := make([]string, 0, len(res.Obs))
+	for id := range res.Obs {
+		nodes = append(nodes, id)
+	}
+	sort.Strings(nodes)
+	for _, id := range nodes {
+		snap := res.Obs[id]
+		names := make([]string, 0, len(snap.Counters))
+		for name := range snap.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			t.Rows = append(t.Rows, []string{
+				id, name, strconv.FormatUint(snap.Counters[name], 10),
+			})
+		}
 	}
 	return t
 }

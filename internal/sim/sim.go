@@ -17,6 +17,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mpeg"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/transport"
@@ -86,6 +87,22 @@ type Runtime struct {
 	// (video bytes, sync bytes) survive the crash.
 	retired      map[string]server.Stats
 	retiredVideo uint64
+
+	// regs holds one obs registry per node (servers, the client, and the
+	// pseudo-node "net" for the simulator itself). Registries outlive
+	// crashes so a crashed server's counters still appear in the report.
+	regs map[string]*obs.Registry
+}
+
+// registry returns (creating on first use) the obs registry for a node.
+// Timestamps come from the virtual clock, so traces are deterministic.
+func (rt *Runtime) registry(node string) *obs.Registry {
+	reg := rt.regs[node]
+	if reg == nil {
+		reg = obs.NewRegistry(node, rt.Clk.Now)
+		rt.regs[node] = reg
+	}
+	return reg
 }
 
 // Result carries every series and counter the figures and tables need.
@@ -118,6 +135,11 @@ type Result struct {
 	Flow         flowctl.Params
 	// Annotations are the scenario's labeled events, for figure output.
 	Annotations []Annotation
+
+	// Obs holds the per-node observability snapshots taken at scenario
+	// end, keyed by node ID (server IDs, the client ID, and "net" for the
+	// simulator). Deterministic for a given scenario and seed.
+	Obs map[string]obs.Snapshot
 }
 
 // AddServer starts a new server mid-scenario (the paper's load-balancing
@@ -133,6 +155,7 @@ func (rt *Runtime) AddServer(id string) {
 		Peers:        rt.scenario.Peers,
 		Flow:         rt.scenario.Flow,
 		SyncInterval: rt.scenario.SyncInterval,
+		Obs:          rt.registry(id),
 	})
 	if err != nil {
 		panic(fmt.Sprintf("sim: adding server %s: %v", id, err))
@@ -227,7 +250,9 @@ func Run(sc Scenario) *Result {
 		servers:  make(map[string]*server.Server),
 		started:  clk.Now(),
 		retired:  make(map[string]server.Stats),
+		regs:     make(map[string]*obs.Registry),
 	}
+	net.SetObs(rt.registry("net"))
 	for _, id := range sc.Servers {
 		rt.AddServer(id)
 	}
@@ -256,6 +281,7 @@ func Run(sc Scenario) *Result {
 			Servers: sc.Peers,
 			Buffer:  sc.Buffer,
 			Flow:    sc.Flow,
+			Obs:     rt.registry(sc.ClientID),
 		})
 		if err != nil {
 			panic(fmt.Sprintf("sim: creating client: %v", err))
@@ -325,6 +351,10 @@ func Run(sc Scenario) *Result {
 	}
 	for id, st := range rt.retired {
 		res.ServerStats[id] = st
+	}
+	res.Obs = make(map[string]obs.Snapshot, len(rt.regs))
+	for id, reg := range rt.regs {
+		res.Obs[id] = reg.Snapshot()
 	}
 	return res
 }

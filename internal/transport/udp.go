@@ -5,29 +5,64 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
+
+// DefaultPeerCacheLimit bounds the peer-resolution cache of a UDPEndpoint.
+// A long-lived server sees client addresses churn indefinitely; without a
+// bound the cache is a slow memory leak. 4096 entries comfortably covers a
+// node's live peer set while keeping the worst case small (~100 B each).
+const DefaultPeerCacheLimit = 4096
+
+// peerEntry is one cached address resolution. used is the CLOCK-eviction
+// reference bit: set on every cache hit (atomically, under the read lock),
+// cleared by the eviction hand, so recently used peers survive eviction.
+type peerEntry struct {
+	addr *net.UDPAddr
+	used atomic.Bool
+}
 
 // UDPEndpoint is the real-network Endpoint used by the cmd/ binaries. Its
 // Addr is the socket's host:port string; peers are dialed by resolving
-// their Addr on every Send (resolution results are cached).
+// their Addr on every Send (resolution results are cached, with LRU-style
+// eviction once the cache exceeds its limit).
 type UDPEndpoint struct {
 	conn *net.UDPConn
 	addr Addr
 
-	mu      sync.RWMutex
-	handler Handler
-	peers   map[Addr]*net.UDPAddr
-	closed  bool
+	mu       sync.RWMutex
+	handler  Handler
+	peers    map[Addr]*peerEntry
+	order    []Addr // insertion ring walked by the eviction hand
+	hand     int
+	maxPeers int
+	closed   bool
 
 	wg sync.WaitGroup
+
+	// Counters resolved once at construction; a nil registry hands out
+	// working unregistered counters, so the hot path never branches.
+	sentDatagrams *obs.Counter
+	sentBytes     *obs.Counter
+	sendErrors    *obs.Counter
+	sendOversized *obs.Counter
+	recvDatagrams *obs.Counter
+	recvBytes     *obs.Counter
+	recvDropped   *obs.Counter
+	readErrors    *obs.Counter
+	peerEvictions *obs.Counter
 }
 
 var _ Endpoint = (*UDPEndpoint)(nil)
 
 // ListenUDP binds a UDP socket on bind (e.g. "127.0.0.1:7001" or ":0") and
 // starts its receive loop. advertise, when non-empty, overrides the address
-// reported by Addr — needed when binding ":0" or a wildcard host.
-func ListenUDP(bind string, advertise Addr) (*UDPEndpoint, error) {
+// reported by Addr — needed when binding ":0" or a wildcard host. An
+// optional obs.Registry receives the endpoint's transport.* counters.
+func ListenUDP(bind string, advertise Addr, reg ...*obs.Registry) (*UDPEndpoint, error) {
 	laddr, err := net.ResolveUDPAddr("udp", bind)
 	if err != nil {
 		return nil, fmt.Errorf("resolve %q: %w", bind, err)
@@ -40,10 +75,25 @@ func ListenUDP(bind string, advertise Addr) (*UDPEndpoint, error) {
 	if addr == "" {
 		addr = Addr(conn.LocalAddr().String())
 	}
+	var r *obs.Registry
+	if len(reg) > 0 {
+		r = reg[0]
+	}
 	ep := &UDPEndpoint{
-		conn:  conn,
-		addr:  addr,
-		peers: make(map[Addr]*net.UDPAddr),
+		conn:     conn,
+		addr:     addr,
+		peers:    make(map[Addr]*peerEntry),
+		maxPeers: DefaultPeerCacheLimit,
+
+		sentDatagrams: r.Counter("transport.sent_datagrams"),
+		sentBytes:     r.Counter("transport.sent_bytes"),
+		sendErrors:    r.Counter("transport.send_errors"),
+		sendOversized: r.Counter("transport.send_oversized"),
+		recvDatagrams: r.Counter("transport.recv_datagrams"),
+		recvBytes:     r.Counter("transport.recv_bytes"),
+		recvDropped:   r.Counter("transport.recv_dropped"),
+		readErrors:    r.Counter("transport.read_errors"),
+		peerEvictions: r.Counter("transport.peer_evictions"),
 	}
 	ep.wg.Add(1)
 	go ep.readLoop()
@@ -53,9 +103,29 @@ func ListenUDP(bind string, advertise Addr) (*UDPEndpoint, error) {
 // Addr implements Endpoint.
 func (e *UDPEndpoint) Addr() Addr { return e.addr }
 
+// SetPeerCacheLimit changes the peer-resolution cache bound (minimum 1).
+// Existing entries above the new limit are evicted lazily on the next
+// insertion.
+func (e *UDPEndpoint) SetPeerCacheLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.mu.Lock()
+	e.maxPeers = n
+	e.mu.Unlock()
+}
+
+// PeerCacheLen reports the number of cached peer resolutions.
+func (e *UDPEndpoint) PeerCacheLen() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.peers)
+}
+
 // Send implements Endpoint.
 func (e *UDPEndpoint) Send(to Addr, payload []byte) error {
 	if len(payload) > MaxDatagram {
+		e.sendOversized.Inc()
 		return fmt.Errorf("udp send to %s: %w", to, ErrTooLarge)
 	}
 	e.mu.RLock()
@@ -63,23 +133,64 @@ func (e *UDPEndpoint) Send(to Addr, payload []byte) error {
 		e.mu.RUnlock()
 		return ErrClosed
 	}
-	raddr := e.peers[to]
+	var raddr *net.UDPAddr
+	if ent := e.peers[to]; ent != nil {
+		ent.used.Store(true)
+		raddr = ent.addr
+	}
 	e.mu.RUnlock()
 
 	if raddr == nil {
 		resolved, err := net.ResolveUDPAddr("udp", string(to))
 		if err != nil {
+			e.sendErrors.Inc()
 			return fmt.Errorf("resolve peer %q: %w", to, err)
 		}
-		e.mu.Lock()
-		e.peers[to] = resolved
-		e.mu.Unlock()
+		e.cachePeer(to, resolved)
 		raddr = resolved
 	}
 	if _, err := e.conn.WriteToUDP(payload, raddr); err != nil {
+		e.sendErrors.Inc()
 		return fmt.Errorf("udp send to %s: %w", to, err)
 	}
+	e.sentDatagrams.Inc()
+	e.sentBytes.Add(uint64(len(payload)))
 	return nil
+}
+
+// cachePeer inserts one resolution, evicting an old entry if the cache is
+// full. Eviction is CLOCK (second chance): the hand sweeps the insertion
+// ring, sparing — and un-marking — entries hit since its last pass.
+func (e *UDPEndpoint) cachePeer(to Addr, resolved *net.UDPAddr) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.peers[to]; ok {
+		return // raced with another Send; first resolution wins
+	}
+	if len(e.peers) < e.maxPeers {
+		e.peers[to] = &peerEntry{addr: resolved}
+		e.order = append(e.order, to)
+		return
+	}
+	// Full: sweep at most two passes — the first pass may only clear
+	// reference bits, the second is then guaranteed a victim.
+	for i := 0; i < 2*len(e.order); i++ {
+		if e.hand >= len(e.order) {
+			e.hand = 0
+		}
+		victim := e.order[e.hand]
+		ent := e.peers[victim]
+		if ent != nil && ent.used.CompareAndSwap(true, false) {
+			e.hand++
+			continue
+		}
+		delete(e.peers, victim)
+		e.peers[to] = &peerEntry{addr: resolved}
+		e.order[e.hand] = to
+		e.hand++
+		e.peerEvictions.Inc()
+		return
+	}
 }
 
 // SetHandler implements Endpoint.
@@ -106,6 +217,7 @@ func (e *UDPEndpoint) Close() error {
 func (e *UDPEndpoint) readLoop() {
 	defer e.wg.Done()
 	buf := make([]byte, MaxDatagram+1)
+	failures := 0
 	for {
 		n, raddr, err := e.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -118,15 +230,38 @@ func (e *UDPEndpoint) readLoop() {
 			if closed {
 				return
 			}
+			e.readErrors.Inc()
+			failures++
+			if failures > 1 {
+				// A persistent error (e.g. a broken socket that is not
+				// reported as closed) must not busy-spin the loop; back
+				// off exponentially up to 100ms.
+				backoff := time.Millisecond << uint(minInt(failures-2, 7))
+				if backoff > 100*time.Millisecond {
+					backoff = 100 * time.Millisecond
+				}
+				time.Sleep(backoff)
+			}
 			continue // transient error; keep serving
 		}
+		failures = 0
+		e.recvDatagrams.Inc()
+		e.recvBytes.Add(uint64(n))
 		e.mu.RLock()
 		h := e.handler
 		e.mu.RUnlock()
 		if h == nil || n > MaxDatagram {
+			e.recvDropped.Inc()
 			continue
 		}
 		// Handlers must not retain the payload, so one buffer suffices.
 		h(Addr(raddr.String()), buf[:n])
 	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
