@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-short race bench figures tables examples vet
+.PHONY: test test-short race bench chaos figures tables examples vet
 
 test:        ## full test suite (includes ~20s of real-clock tests)
 	go test ./...
@@ -13,6 +13,10 @@ race:        ## race detector over the whole module
 
 bench:       ## one benchmark per paper figure/table + micro benches
 	go test -bench=. -benchmem ./...
+
+chaos:       ## seeded fault schedules + invariant checks, race-clean
+	go test -race -short -run 'Chaos|Monkey' ./...
+	go run ./cmd/vodbench -chaos -runs 50
 
 figures:     ## regenerate every evaluation figure as TSV
 	go run ./cmd/vodbench -fig all

@@ -9,6 +9,8 @@
 //	vodbench -table takeover  # one table
 //	vodbench -table all       # all tables
 //	vodbench -seed 7          # change the simulation seed
+//	vodbench -chaos -runs 50  # run 50 seeded fault schedules, report invariants
+//	vodbench -chaos -seed 53  # replay one schedule (e.g. a CI failure) exactly
 //
 // Figures: 4a skipped frames (LAN) · 4b late frames (LAN) · 4c software
 // buffer occupancy (LAN) · 4d hardware buffer occupancy (LAN) · 5a skipped
@@ -25,6 +27,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/chaos"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -43,11 +46,27 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list available figures and tables, then exit")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	stats := fs.Bool("stats", false, "dump per-node observability counters for the LAN and WAN scenarios, then exit")
+	chaosRun := fs.Bool("chaos", false, "execute seeded chaos schedules and check service invariants")
+	runs := fs.Int("runs", 1, "with -chaos: number of consecutive seeds to run, starting at -seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	out := os.Stdout
+	if *chaosRun {
+		failed := 0
+		for s := *seed; s < *seed+int64(*runs); s++ {
+			rep := chaos.Run(s)
+			rep.Write(out)
+			if !rep.OK() {
+				failed++
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d of %d chaos schedules violated invariants", failed, *runs)
+		}
+		return nil
+	}
 	if *list {
 		fmt.Fprintln(out, "figures:", sim.FigureIDs())
 		fmt.Fprintln(out, "tables: ", sim.TableIDs())

@@ -37,6 +37,13 @@ func TestRunRejectsUnknown(t *testing.T) {
 	}
 }
 
+func TestRunChaos(t *testing.T) {
+	// One seeded schedule end to end; a violation surfaces as an error.
+	if err := run([]string{"-chaos", "-seed", "7"}); err != nil {
+		t.Fatalf("vodbench -chaos -seed 7: %v", err)
+	}
+}
+
 func TestRunSeedChangesOutput(t *testing.T) {
 	// Just verify alternate seeds execute cleanly end to end.
 	if err := run([]string{"-fig", "4a", "-seed", "7"}); err != nil {

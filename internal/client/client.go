@@ -9,6 +9,8 @@ package client
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -73,8 +75,20 @@ type Config struct {
 	// Flow is the flow-control parameter set (paper defaults if zero).
 	Flow flowctl.Params
 	// OpenTimeout is how long to wait for an OpenReply before trying the
-	// next server (default 1s).
+	// next server (default 1s). Each further retry doubles the wait, up to
+	// OpenBackoffCap, plus up to 25% deterministic jitter seeded from the
+	// client ID — so a fleet of clients cut off by the same fault does not
+	// retry in lockstep.
 	OpenTimeout time.Duration
+	// OpenBackoffCap bounds the open-retry backoff (default 8s).
+	OpenBackoffCap time.Duration
+	// StarveTimeout is how long playback may fail to progress (while
+	// watching, unpaused and unfinished) before the client decides its
+	// session is dead — a crashed-and-gone server, a network partition —
+	// and re-anycasts the Open to the server group (default 3s). The
+	// re-anycast reaches whichever server now owns (or adopts) the session,
+	// and a Seek resynchronizes the stream to the client's position.
+	StarveTimeout time.Duration
 	// GCS optionally overrides group-communication timing.
 	GCS gcs.Config
 	// Obs, when set, receives the client.* counters, occupancy gauges and
@@ -98,12 +112,20 @@ func (c *Config) fillDefaults() error {
 	if c.OpenTimeout <= 0 {
 		c.OpenTimeout = time.Second
 	}
+	if c.OpenBackoffCap <= 0 {
+		c.OpenBackoffCap = 8 * time.Second
+	}
+	if c.StarveTimeout <= 0 {
+		c.StarveTimeout = 3 * time.Second
+	}
 	return c.Flow.Validate()
 }
 
 // Stats counts the client's control-plane activity.
 type Stats struct {
 	OpensSent       uint64 // Open anycasts (including retries)
+	OpenRetries     uint64 // the retries among them (timer-driven re-sends)
+	Reopens         uint64 // starvation-triggered session re-establishments
 	FlowSent        uint64 // flow-control requests multicast
 	EmergenciesSent uint64 // the emergency requests among them
 	VCRSent         uint64 // VCR commands multicast
@@ -114,14 +136,17 @@ type Stats struct {
 // client publishes deltas from displayTick so the pipeline stays
 // observability-free.
 type clientCounters struct {
-	opensSent  *obs.Counter // client.opens_sent
-	flowSent   *obs.Counter // client.flow_sent
-	emergSent  *obs.Counter // client.emergencies_sent
-	vcrSent    *obs.Counter // client.vcr_sent
-	framesRecv *obs.Counter // client.frames_received
-	stalls     *obs.Counter // client.stalls
-	lateFrames *obs.Counter // client.late_frames
-	skipped    *obs.Counter // client.skipped_frames
+	opensSent   *obs.Counter // client.opens_sent
+	openRetries *obs.Counter // client.open_retries
+	reopens     *obs.Counter // client.reopens
+	flowSent    *obs.Counter // client.flow_sent
+	emergSent   *obs.Counter // client.emergencies_sent
+	vcrSent     *obs.Counter // client.vcr_sent
+	framesRecv  *obs.Counter // client.frames_received
+	stalls      *obs.Counter // client.stalls
+	lateFrames  *obs.Counter // client.late_frames
+	skipped     *obs.Counter // client.skipped_frames
+	strayFrames *obs.Counter // client.stray_frames (dropped while reopening)
 
 	swOcc       *obs.Gauge // client.sw_occupancy (frames)
 	combinedOcc *obs.Gauge // client.combined_occupancy (frames)
@@ -152,6 +177,16 @@ type Client struct {
 	serverIdx   int
 	paused      bool
 	stats       Stats
+
+	// Open-retry backoff and starvation-recovery state. rng supplies the
+	// retry jitter, seeded from the client ID so virtual-clock runs are
+	// deterministic while distinct clients desynchronize.
+	rng         *rand.Rand
+	openAttempt int  // timer-driven retries since the last reply
+	reopening   bool // a starvation re-anycast is in flight
+	starveTask  *clock.Periodic
+	lastShown   uint64    // Displayed count at the last progress check
+	lastMoved   time.Time // when playback last made progress
 
 	// Last buffer.Counters values already published to obs; displayTick
 	// adds only the delta since the previous tick.
@@ -187,8 +222,11 @@ func New(cfg Config) (*Client, error) {
 		vid:     mux.Channel(transport.ChannelVideo),
 		state:   StateIdle,
 		servers: append([]string(nil), cfg.Servers...),
+		rng:     rand.New(rand.NewSource(seedFrom(cfg.ID))),
 		ctr: clientCounters{
 			opensSent:   cfg.Obs.Counter("client.opens_sent"),
+			openRetries: cfg.Obs.Counter("client.open_retries"),
+			reopens:     cfg.Obs.Counter("client.reopens"),
 			flowSent:    cfg.Obs.Counter("client.flow_sent"),
 			emergSent:   cfg.Obs.Counter("client.emergencies_sent"),
 			vcrSent:     cfg.Obs.Counter("client.vcr_sent"),
@@ -196,6 +234,7 @@ func New(cfg Config) (*Client, error) {
 			stalls:      cfg.Obs.Counter("client.stalls"),
 			lateFrames:  cfg.Obs.Counter("client.late_frames"),
 			skipped:     cfg.Obs.Counter("client.skipped_frames"),
+			strayFrames: cfg.Obs.Counter("client.stray_frames"),
 			swOcc:       cfg.Obs.Gauge("client.sw_occupancy"),
 			combinedOcc: cfg.Obs.Gauge("client.combined_occupancy"),
 			hwBytes:     cfg.Obs.Gauge("client.hw_occupancy_bytes"),
@@ -252,7 +291,7 @@ func (c *Client) Watch(movieID string) error {
 func (c *Client) resolveThenOpen() {
 	c.resolver.Resolve("vod.servers", 5, func(addrs []transport.Addr) {
 		c.mu.Lock()
-		if c.state != StateOpening {
+		if !c.openActiveLocked() {
 			c.mu.Unlock()
 			return
 		}
@@ -300,11 +339,43 @@ func containsString(xs []string, x string) bool {
 // server.SessionGroup without importing the server package.
 func SessionGroupName(clientID string) string { return "vod.session." + clientID }
 
+// seedFrom derives a deterministic RNG seed from an identity string.
+func seedFrom(s string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return int64(h.Sum64())
+}
+
+// openActiveLocked reports whether an Open anycast cycle should proceed:
+// either the initial open, or a starvation-triggered reopen mid-watch.
+// Caller holds c.mu.
+func (c *Client) openActiveLocked() bool {
+	return c.state == StateOpening || (c.state == StateWatching && c.reopening)
+}
+
+// openDelayLocked computes the wait before the next Open retry: the
+// configured timeout doubled per consecutive attempt, capped, with up to
+// 25% jitter on retries. The first attempt waits exactly OpenTimeout, so a
+// healthy open is as prompt as ever. Caller holds c.mu.
+func (c *Client) openDelayLocked() time.Duration {
+	d := c.cfg.OpenTimeout
+	for i := 0; i < c.openAttempt && d < c.cfg.OpenBackoffCap; i++ {
+		d *= 2
+	}
+	if d > c.cfg.OpenBackoffCap {
+		d = c.cfg.OpenBackoffCap
+	}
+	if c.openAttempt > 0 {
+		d += time.Duration(c.rng.Int63n(int64(d)/4 + 1))
+	}
+	return d
+}
+
 // sendOpen anycasts the Open to the current bootstrap server and arms the
-// retry timer.
+// retry timer (capped exponential backoff across consecutive attempts).
 func (c *Client) sendOpen() {
 	c.mu.Lock()
-	if c.state != StateOpening {
+	if !c.openActiveLocked() {
 		c.mu.Unlock()
 		return
 	}
@@ -317,6 +388,10 @@ func (c *Client) sendOpen() {
 	c.serverIdx++
 	c.stats.OpensSent++
 	c.ctr.opensSent.Inc()
+	if c.openAttempt > 0 {
+		c.stats.OpenRetries++
+		c.ctr.openRetries.Inc()
+	}
 	open := &wire.Open{
 		ClientID:   c.cfg.ID,
 		ClientAddr: c.cfg.ID,
@@ -325,7 +400,8 @@ func (c *Client) sendOpen() {
 	if c.openTimer != nil {
 		c.openTimer.Stop()
 	}
-	c.openTimer = c.cfg.Clock.AfterFunc(c.cfg.OpenTimeout, c.sendOpen)
+	c.openTimer = c.cfg.Clock.AfterFunc(c.openDelayLocked(), c.sendOpen)
+	c.openAttempt++
 	c.mu.Unlock()
 
 	_ = c.proc.Anycast(target, "vod.servers", wire.Encode(open))
@@ -342,8 +418,8 @@ func (c *Client) onDirect(_ gcs.ProcessID, payload []byte) {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.state != StateOpening || reply.Movie != c.movie {
+	if reply.Movie != c.movie || !c.openActiveLocked() {
+		c.mu.Unlock()
 		return
 	}
 	if !reply.OK {
@@ -353,17 +429,90 @@ func (c *Client) onDirect(_ gcs.ProcessID, payload []byte) {
 			c.openTimer.Stop()
 		}
 		c.openTimer = c.cfg.Clock.AfterFunc(10*time.Millisecond, c.sendOpen)
+		c.mu.Unlock()
+		return
+	}
+	if c.state == StateWatching {
+		// A reopen succeeded: some server (the original one across a healed
+		// partition, or a fresh owner) acknowledged the session. Resync its
+		// stream position to ours — without the seek a new owner would
+		// start from frame zero, and a surviving owner would keep streaming
+		// from wherever the partition left it.
+		c.reopening = false
+		c.openAttempt = 0
+		if c.openTimer != nil {
+			c.openTimer.Stop()
+			c.openTimer = nil
+		}
+		next := c.pipeline.NextIndex()
+		paused := c.paused
+		c.cfg.Obs.Event("client.reopen_ok", fmt.Sprintf("%s resync at frame %d", c.cfg.ID, next))
+		c.mu.Unlock()
+		// Re-assert the playback state before the resync: if an earlier
+		// Resume was lost to the same fault that starved us, the server
+		// still believes the session is paused and would ignore the Seek's
+		// pacing restart.
+		if !paused {
+			_ = c.Resume()
+		}
+		_ = c.Seek(next)
 		return
 	}
 	c.state = StateWatching
 	c.totalFrames = reply.TotalFrames
 	c.fps = int(reply.FPS)
+	c.openAttempt = 0
 	if c.openTimer != nil {
 		c.openTimer.Stop()
 		c.openTimer = nil
 	}
 	period := time.Second / time.Duration(c.fps)
 	c.displayTask = clock.Every(c.cfg.Clock, period, c.displayTick)
+	// Arm the starvation watchdog: if playback stops progressing for
+	// StarveTimeout the session is presumed dead and reopened.
+	c.lastShown = 0
+	c.lastMoved = c.cfg.Clock.Now()
+	if c.starveTask == nil {
+		c.starveTask = clock.Every(c.cfg.Clock, c.cfg.StarveTimeout/4, c.starveTick)
+	}
+	c.mu.Unlock()
+}
+
+// starveTick is the starvation watchdog: while watching, playback must
+// advance the Displayed counter (or be deliberately paused). When it fails
+// to for StarveTimeout — the serving server died with no peer to take over,
+// or a partition separates the client from the whole cluster — the client
+// stops waiting on the dead session and re-anycasts the Open to the server
+// group, with the same capped backoff as the initial open (§5.1: the
+// client knows only the abstract service, so recovery is just asking it
+// again).
+func (c *Client) starveTick() {
+	c.mu.Lock()
+	if c.state != StateWatching {
+		c.mu.Unlock()
+		return
+	}
+	now := c.cfg.Clock.Now()
+	shown := c.pipeline.Counters().Displayed
+	if shown != c.lastShown || c.paused {
+		c.lastShown = shown
+		c.lastMoved = now
+		c.mu.Unlock()
+		return
+	}
+	if c.reopening || now.Sub(c.lastMoved) < c.cfg.StarveTimeout {
+		c.mu.Unlock()
+		return
+	}
+	c.reopening = true
+	c.openAttempt = 0
+	c.lastMoved = now // next starvation window starts fresh
+	c.stats.Reopens++
+	c.ctr.reopens.Inc()
+	c.cfg.Obs.Event("client.reopen",
+		fmt.Sprintf("%s starved at frame %d", c.cfg.ID, c.pipeline.NextIndex()))
+	c.mu.Unlock()
+	c.sendOpen()
 }
 
 // onVideo handles an arriving video frame: buffer it and run the flow
@@ -381,6 +530,19 @@ func (c *Client) onVideo(_ transport.Addr, payload []byte) {
 	if c.state != StateWatching || frame.Movie != c.movie {
 		c.mu.Unlock()
 		return
+	}
+	if c.reopening {
+		// While renegotiating a starved session, a far-future frame is a
+		// server streaming into the void of the old one (it kept
+		// transmitting across the partition); accepting it would jump
+		// playback past every frame lost in between. Drop it — the
+		// reopen's Seek rewinds the server to our position instead.
+		if next := c.pipeline.NextIndex(); frame.Index >= next &&
+			frame.Index-next > uint32(4*c.cfg.Buffer.SoftwareCapacity) {
+			c.ctr.strayFrames.Inc()
+			c.mu.Unlock()
+			return
+		}
 	}
 	now := c.cfg.Clock.Now()
 	if c.fps > 0 && frame.Index == c.lastIndex+1 && !c.lastArrival.IsZero() {
@@ -437,6 +599,10 @@ func (c *Client) displayTick() {
 		c.state = StateFinished
 		if c.displayTask != nil {
 			c.displayTask.Stop()
+		}
+		if c.starveTask != nil {
+			c.starveTask.Stop()
+			c.starveTask = nil
 		}
 		c.mu.Unlock()
 		return
@@ -546,6 +712,10 @@ func (c *Client) StopWatching() error {
 	if c.displayTask != nil {
 		c.displayTask.Stop()
 	}
+	if c.starveTask != nil {
+		c.starveTask.Stop()
+		c.starveTask = nil
+	}
 	session := c.session
 	c.session = nil
 	c.mu.Unlock()
@@ -563,6 +733,10 @@ func (c *Client) Close() {
 	}
 	if c.displayTask != nil {
 		c.displayTask.Stop()
+	}
+	if c.starveTask != nil {
+		c.starveTask.Stop()
+		c.starveTask = nil
 	}
 	if c.openTimer != nil {
 		c.openTimer.Stop()

@@ -8,6 +8,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/mpeg"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -332,5 +333,91 @@ func TestJitterEstimator(t *testing.T) {
 	}
 	if wan < 2*lan+time.Millisecond {
 		t.Errorf("WAN jitter (%v) not clearly above LAN (%v)", wan, lan)
+	}
+}
+
+// TestOpenRetryBackoff: against a service that never answers, the Open
+// anycast must back off exponentially (capped) instead of hammering every
+// second. In 40 simulated seconds the fixed-1s schedule would fire ~40
+// opens; the capped-backoff schedule fires well under a dozen.
+func TestOpenRetryBackoff(t *testing.T) {
+	r := newRig(t)
+	// Bind the server address but run no server: opens vanish into it.
+	if _, err := r.net.NewEndpoint("s1"); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry("c1", r.clk.Now)
+	c, err := client.New(client.Config{
+		ID: "c1", Clock: r.clk, Network: r.net, Servers: []string{"s1"}, Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Watch(r.movie.ID()); err != nil {
+		t.Fatal(err)
+	}
+	r.clk.Advance(40 * time.Second)
+
+	st := c.Stats()
+	if st.OpensSent < 5 || st.OpensSent > 12 {
+		t.Errorf("OpensSent = %d over 40s; want 5..12 (capped backoff)", st.OpensSent)
+	}
+	if st.OpenRetries != st.OpensSent-1 {
+		t.Errorf("OpenRetries = %d, OpensSent = %d; every open but the first is a retry",
+			st.OpenRetries, st.OpensSent)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["client.open_retries"]; got != st.OpenRetries {
+		t.Errorf("client.open_retries counter = %d, stats say %d", got, st.OpenRetries)
+	}
+	if got := c.State(); got != client.StateOpening {
+		t.Errorf("state = %v, still opening expected", got)
+	}
+}
+
+// TestReopenAfterLinkLoss: the client loses its only server mid-movie to a
+// (bidirectional) link failure longer than StarveTimeout. It must notice
+// the starvation, count a reopen, and resume playback when the link heals.
+func TestReopenAfterLinkLoss(t *testing.T) {
+	r := newRig(t)
+	r.server(t, "s1", "s1")
+	reg := obs.NewRegistry("c1", r.clk.Now)
+	c, err := client.New(client.Config{
+		ID: "c1", Clock: r.clk, Network: r.net, Servers: []string{"s1"}, Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Watch(r.movie.ID()); err != nil {
+		t.Fatal(err)
+	}
+	r.clk.Advance(5 * time.Second)
+	beforeCut := c.Counters().Displayed
+	if beforeCut == 0 {
+		t.Fatal("no frames displayed before the cut")
+	}
+
+	r.net.SetLinkDown("c1", "s1", true)
+	r.clk.Advance(10 * time.Second)
+	if got := c.Stats().Reopens; got == 0 {
+		t.Fatal("client never reopened across a 10s link outage")
+	}
+	atHeal := c.Counters().Displayed
+
+	r.net.SetLinkDown("c1", "s1", false)
+	r.clk.Advance(10 * time.Second)
+	after := c.Counters().Displayed
+	if after <= atHeal {
+		t.Fatalf("playback did not resume after heal: %d -> %d displayed", atHeal, after)
+	}
+	if got := reg.Snapshot().Counters["client.reopens"]; got != c.Stats().Reopens {
+		t.Errorf("client.reopens counter = %d, stats say %d", got, c.Stats().Reopens)
+	}
+	// The starvation window plus recovery costs display continuity but not
+	// correctness: no I frame may be dropped by overflow.
+	if got := c.Counters().OverflowDroppedI; got != 0 {
+		t.Errorf("%d I frames dropped on overflow across the outage", got)
 	}
 }

@@ -18,6 +18,8 @@ package congress
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -193,6 +195,16 @@ func NewRegistrar(clk clock.Clock, ep transport.Endpoint, directory transport.Ad
 // Stop ceases refreshing; the registration expires at the directory.
 func (r *Registrar) Stop() { r.task.Stop() }
 
+// Resolution retry backoff: the first retry waits ResolveRetryBase, each
+// further retry doubles the wait up to ResolveRetryCap, and every wait adds
+// up to 25% deterministic jitter. Without the jitter, every client that
+// lost its directory to the same partition would retry in lockstep and the
+// heal would be greeted by a synchronized lookup storm.
+const (
+	ResolveRetryBase = 300 * time.Millisecond
+	ResolveRetryCap  = 2 * time.Second
+)
+
 // Resolver performs resolutions against a directory over an endpoint it
 // shares with its owner. Replies are matched to requests by nonce.
 type Resolver struct {
@@ -201,6 +213,7 @@ type Resolver struct {
 	directory transport.Addr
 
 	mu      sync.Mutex
+	rng     *rand.Rand // jitter; seeded from the endpoint address
 	nonce   uint64
 	pending map[uint64]*resolution
 }
@@ -209,19 +222,30 @@ type resolution struct {
 	group    string
 	callback func([]transport.Addr)
 	retries  int
+	attempt  int // retries already taken, drives the backoff
 	timer    clock.Timer
 }
 
 // NewResolver wires a resolver to ep: it takes over ep's inbound handler.
+// Retry jitter is seeded from ep's address, so runs on a virtual clock are
+// deterministic while distinct nodes still desynchronize.
 func NewResolver(clk clock.Clock, ep transport.Endpoint, directory transport.Addr) *Resolver {
 	r := &Resolver{
 		clk:       clk,
 		ep:        ep,
 		directory: directory,
+		rng:       rand.New(rand.NewSource(seedFrom(string(ep.Addr()) + "|" + string(directory)))),
 		pending:   make(map[uint64]*resolution),
 	}
 	ep.SetHandler(r.onPacket)
 	return r
+}
+
+// seedFrom derives a deterministic RNG seed from an identity string.
+func seedFrom(s string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return int64(h.Sum64())
 }
 
 // Resolve looks group up, invoking callback exactly once: with the member
@@ -248,7 +272,7 @@ func (r *Resolver) send(nonce uint64, res *resolution) {
 	if r.pending[nonce] != res {
 		return // answered meanwhile
 	}
-	res.timer = r.clk.AfterFunc(300*time.Millisecond, func() {
+	res.timer = r.clk.AfterFunc(r.retryDelayLocked(res.attempt), func() {
 		r.mu.Lock()
 		if r.pending[nonce] != res {
 			r.mu.Unlock()
@@ -262,9 +286,23 @@ func (r *Resolver) send(nonce uint64, res *resolution) {
 			return
 		}
 		res.retries--
+		res.attempt++
 		r.mu.Unlock()
 		r.send(nonce, res)
 	})
+}
+
+// retryDelayLocked computes the capped exponential backoff with jitter for
+// the given retry attempt. Caller holds r.mu.
+func (r *Resolver) retryDelayLocked(attempt int) time.Duration {
+	d := ResolveRetryBase
+	for i := 0; i < attempt && d < ResolveRetryCap; i++ {
+		d *= 2
+	}
+	if d > ResolveRetryCap {
+		d = ResolveRetryCap
+	}
+	return d + time.Duration(r.rng.Int63n(int64(d)/4+1))
 }
 
 func (r *Resolver) onPacket(_ transport.Addr, payload []byte) {

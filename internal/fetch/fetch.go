@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/mpeg"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -42,17 +43,23 @@ type Provider struct {
 	in      transport.Endpoint
 	out     transport.Endpoint
 
+	ctrServed   *obs.Counter // fetch.chunks_served
+	ctrNotFound *obs.Counter // fetch.not_found
+
 	mu     sync.Mutex
 	serial map[string][]byte // serialized movies, built lazily
 }
 
-// NewProvider starts serving the catalog's movies.
-func NewProvider(catalog *store.Catalog, in, out transport.Endpoint) *Provider {
+// NewProvider starts serving the catalog's movies. reg (nil ok) receives
+// the provider-side fetch.* counters.
+func NewProvider(catalog *store.Catalog, in, out transport.Endpoint, reg *obs.Registry) *Provider {
 	p := &Provider{
-		catalog: catalog,
-		in:      in,
-		out:     out,
-		serial:  make(map[string][]byte),
+		catalog:     catalog,
+		in:          in,
+		out:         out,
+		serial:      make(map[string][]byte),
+		ctrServed:   reg.Counter("fetch.chunks_served"),
+		ctrNotFound: reg.Counter("fetch.not_found"),
 	}
 	in.SetHandler(p.onPacket)
 	return p
@@ -72,6 +79,7 @@ func (p *Provider) onPacket(from transport.Addr, payload []byte) {
 
 	data, err := p.serializedLocked(movieID)
 	if err != nil {
+		p.ctrNotFound.Inc()
 		resp := make([]byte, 0, 32)
 		resp = wire.AppendU8(resp, kindNotFound)
 		resp = wire.AppendU64(resp, reqID)
@@ -95,6 +103,7 @@ func (p *Provider) onPacket(from transport.Addr, payload []byte) {
 	resp = wire.AppendU32(resp, uint32(chunk))
 	resp = wire.AppendU32(resp, uint32(total))
 	resp = wire.AppendBytes(resp, data[lo:hi])
+	p.ctrServed.Inc()
 	_ = p.out.Send(from, resp)
 }
 
@@ -134,6 +143,12 @@ type Fetcher struct {
 	out transport.Endpoint
 	in  transport.Endpoint
 
+	obs         *obs.Registry
+	ctrRequests *obs.Counter // fetch.requests_sent
+	ctrRetries  *obs.Counter // fetch.chunk_retries
+	ctrFetched  *obs.Counter // fetch.movies_fetched
+	ctrFailed   *obs.Counter // fetch.failures
+
 	mu      sync.Mutex
 	nextID  uint64
 	current *transfer
@@ -152,9 +167,19 @@ type transfer struct {
 }
 
 // NewFetcher wires a fetcher to its request/reply channels (it takes over
-// in's inbound handler).
-func NewFetcher(clk clock.Clock, out, in transport.Endpoint) *Fetcher {
-	f := &Fetcher{clk: clk, out: out, in: in}
+// in's inbound handler). reg (nil ok) receives the fetcher-side fetch.*
+// counters and trace events.
+func NewFetcher(clk clock.Clock, out, in transport.Endpoint, reg *obs.Registry) *Fetcher {
+	f := &Fetcher{
+		clk:         clk,
+		out:         out,
+		in:          in,
+		obs:         reg,
+		ctrRequests: reg.Counter("fetch.requests_sent"),
+		ctrRetries:  reg.Counter("fetch.chunk_retries"),
+		ctrFetched:  reg.Counter("fetch.movies_fetched"),
+		ctrFailed:   reg.Counter("fetch.failures"),
+	}
 	in.SetHandler(f.onPacket)
 	return f
 }
@@ -191,6 +216,7 @@ func (f *Fetcher) requestChunk(tr *transfer) {
 	req = wire.AppendU64(req, tr.id)
 	req = wire.AppendString(req, tr.movie)
 	req = wire.AppendU32(req, uint32(tr.next))
+	f.ctrRequests.Inc()
 	_ = f.out.Send(tr.peer, req)
 
 	f.mu.Lock()
@@ -205,10 +231,13 @@ func (f *Fetcher) requestChunk(tr *transfer) {
 			return
 		}
 		tr.retries++
+		f.ctrRetries.Inc()
 		if tr.retries > maxChunkRetries {
 			f.current = nil
 			cb := tr.callback
 			f.mu.Unlock()
+			f.ctrFailed.Inc()
+			f.obs.Event("fetch.fail", tr.movie+" from "+string(tr.peer)+": timeout")
 			cb(nil, fmt.Errorf("fetch: %q from %s: no response after %d retries", tr.movie, tr.peer, maxChunkRetries))
 			return
 		}
@@ -240,6 +269,7 @@ func (f *Fetcher) onPacket(from transport.Addr, payload []byte) {
 		}
 		cb := tr.callback
 		f.mu.Unlock()
+		f.ctrFailed.Inc()
 		cb(nil, fmt.Errorf("fetch: peer %s does not hold %q", from, movieID))
 		return
 	}
@@ -279,8 +309,11 @@ func (f *Fetcher) onPacket(from transport.Addr, payload []byte) {
 
 	movie, err := mpeg.ReadFrom(bytes.NewReader(whole))
 	if err != nil {
+		f.ctrFailed.Inc()
 		cb(nil, fmt.Errorf("fetch: %q from %s corrupt: %w", movieID, from, err))
 		return
 	}
+	f.ctrFetched.Inc()
+	f.obs.Event("fetch.done", movieID+" from "+string(from))
 	cb(movie, nil)
 }

@@ -42,10 +42,10 @@ func fetchRig(t *testing.T, prof netsim.Profile, movieDur time.Duration) (*clock
 	cat := store.NewCatalog()
 	cat.Add(movie)
 	prov := newNode(t, net, "provider")
-	fetch.NewProvider(cat, prov.fetchOut, prov.replyIn)
+	fetch.NewProvider(cat, prov.fetchOut, prov.replyIn, nil)
 
 	cli := newNode(t, net, "getter")
-	return clk, fetch.NewFetcher(clk, cli.fetchOut, cli.replyIn), movie
+	return clk, fetch.NewFetcher(clk, cli.fetchOut, cli.replyIn, nil), movie
 }
 
 func TestFetchRoundTrip(t *testing.T) {
@@ -115,7 +115,7 @@ func TestFetchDeadPeerTimesOut(t *testing.T) {
 		t.Fatal(err)
 	}
 	cli := newNode(t, net, "getter")
-	f := fetch.NewFetcher(clk, cli.fetchOut, cli.replyIn)
+	f := fetch.NewFetcher(clk, cli.fetchOut, cli.replyIn, nil)
 	var gotErr error
 	if err := f.Fetch("feature", "ghost", func(m *mpeg.Movie, err error) { gotErr = err }); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,155 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/transport"
+)
+
+// faultRig binds two endpoints and counts deliveries at each.
+type faultRig struct {
+	clk  *clock.Virtual
+	net  *Network
+	a, b transport.Endpoint
+	atA  int
+	atB  int
+}
+
+func newFaultRig(t *testing.T) *faultRig {
+	t.Helper()
+	clk := clock.NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	r := &faultRig{clk: clk, net: New(clk, 1, LAN())}
+	var err error
+	if r.a, err = r.net.NewEndpoint("a"); err != nil {
+		t.Fatal(err)
+	}
+	if r.b, err = r.net.NewEndpoint("b"); err != nil {
+		t.Fatal(err)
+	}
+	r.a.SetHandler(func(transport.Addr, []byte) { r.atA++ })
+	r.b.SetHandler(func(transport.Addr, []byte) { r.atB++ })
+	return r
+}
+
+// exchange sends one packet each way and lets them arrive.
+func (r *faultRig) exchange() {
+	_ = r.a.Send("b", []byte("a->b"))
+	_ = r.b.Send("a", []byte("b->a"))
+	r.clk.Advance(10 * time.Millisecond)
+}
+
+func TestSetLinkOneWayDown(t *testing.T) {
+	r := newFaultRig(t)
+	r.exchange()
+	if r.atA != 1 || r.atB != 1 {
+		t.Fatalf("baseline exchange: atA=%d atB=%d", r.atA, r.atB)
+	}
+
+	// Block only a→b: b goes deaf to a, but a still hears b — the
+	// asymmetric split presence-based merging cannot see.
+	r.net.SetLinkOneWayDown("a", "b", true)
+	r.exchange()
+	if r.atB != 1 {
+		t.Errorf("a→b delivered through a one-way block (atB=%d)", r.atB)
+	}
+	if r.atA != 2 {
+		t.Errorf("b→a blocked too (atA=%d); the block must be one-directional", r.atA)
+	}
+
+	// Unblock: symmetric service resumes.
+	r.net.SetLinkOneWayDown("a", "b", false)
+	r.exchange()
+	if r.atA != 3 || r.atB != 2 {
+		t.Errorf("after unblock: atA=%d atB=%d", r.atA, r.atB)
+	}
+}
+
+func TestOneWayDownComposesWithHeal(t *testing.T) {
+	r := newFaultRig(t)
+	r.net.SetLinkOneWayDown("a", "b", true)
+	r.net.SetLinkOneWayDown("b", "a", true)
+	r.exchange()
+	if r.atA != 0 || r.atB != 0 {
+		t.Fatalf("both directions blocked, yet atA=%d atB=%d", r.atA, r.atB)
+	}
+	r.net.Heal()
+	r.exchange()
+	if r.atA != 1 || r.atB != 1 {
+		t.Fatalf("heal did not clear one-way blocks: atA=%d atB=%d", r.atA, r.atB)
+	}
+}
+
+func TestExtraLossBurst(t *testing.T) {
+	r := newFaultRig(t)
+	const packets = 200
+
+	// Total loss: nothing arrives during the burst.
+	r.net.SetExtraLoss(1.0)
+	for i := 0; i < packets; i++ {
+		_ = r.a.Send("b", []byte("x"))
+	}
+	r.clk.Advance(time.Second)
+	if r.atB != 0 {
+		t.Fatalf("%d packets survived a p=1.0 loss burst", r.atB)
+	}
+
+	// Partial loss: some but not all packets die.
+	r.net.SetExtraLoss(0.5)
+	for i := 0; i < packets; i++ {
+		_ = r.a.Send("b", []byte("x"))
+	}
+	r.clk.Advance(time.Second)
+	if r.atB == 0 || r.atB == packets {
+		t.Fatalf("p=0.5 burst delivered %d of %d", r.atB, packets)
+	}
+
+	// Burst over: full service.
+	before := r.atB
+	r.net.SetExtraLoss(0)
+	for i := 0; i < packets; i++ {
+		_ = r.a.Send("b", []byte("x"))
+	}
+	r.clk.Advance(time.Second)
+	if r.atB != before+packets {
+		t.Fatalf("loss after burst end: delivered %d of %d", r.atB-before, packets)
+	}
+}
+
+func TestRebindAfterCrash(t *testing.T) {
+	r := newFaultRig(t)
+
+	// A live address cannot be double-bound.
+	if _, err := r.net.NewEndpoint("b"); err == nil {
+		t.Fatal("double bind of a live address succeeded")
+	}
+
+	r.net.Crash("b")
+	_ = r.a.Send("b", []byte("into the void"))
+	r.clk.Advance(10 * time.Millisecond)
+	if r.atB != 0 {
+		t.Fatalf("crashed node received a packet")
+	}
+
+	// The restarted incarnation reclaims the address and receives traffic.
+	nb, err := r.net.NewEndpoint("b")
+	if err != nil {
+		t.Fatalf("rebinding a crashed address: %v", err)
+	}
+	got := 0
+	nb.SetHandler(func(transport.Addr, []byte) { got++ })
+	_ = r.a.Send("b", []byte("hello again"))
+	r.clk.Advance(10 * time.Millisecond)
+	if got != 1 {
+		t.Fatalf("restarted node received %d packets, want 1", got)
+	}
+	// And it can send.
+	if err := nb.Send("a", []byte("back")); err != nil {
+		t.Fatalf("restarted node cannot send: %v", err)
+	}
+	r.clk.Advance(10 * time.Millisecond)
+	if r.atA != 1 {
+		t.Fatalf("reply from restarted node lost (atA=%d)", r.atA)
+	}
+}

@@ -82,6 +82,7 @@ type Network struct {
 	links     map[pair]*linkState
 	egress    map[transport.Addr]int64 // shared NIC rate, bytes/s (0 = none)
 	egressQ   map[transport.Addr]*linkState
+	extraLoss float64 // network-wide additional drop probability (loss burst)
 	stats     Stats
 
 	obs      *obs.Registry
@@ -145,11 +146,15 @@ func (n *Network) SetEgressLimit(addr transport.Addr, bytesPerSec int64) {
 	n.egress[addr] = bytesPerSec
 }
 
-// NewEndpoint implements transport.Network.
+// NewEndpoint implements transport.Network. An address whose previous
+// endpoint was closed (node crashed or shut down) may be bound again — a
+// restarted node reclaiming its port. Datagrams already in flight toward
+// the address are delivered to the new incarnation, exactly as late UDP
+// packets reach a rebound socket.
 func (n *Network) NewEndpoint(addr transport.Addr) (transport.Endpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, ok := n.nodes[addr]; ok {
+	if old, ok := n.nodes[addr]; ok && !old.closed {
 		return nil, fmt.Errorf("netsim: bind %q: %w", addr, transport.ErrAddrInUse)
 	}
 	ep := &endpoint{net: n, addr: addr}
@@ -187,6 +192,45 @@ func (n *Network) SetLinkDown(a, b transport.Addr, down bool) {
 	}
 }
 
+// SetLinkOneWayDown blocks (or unblocks) traffic in the single direction
+// from→to, leaving the reverse direction untouched. This is the asymmetric
+// split that presence-based merging cannot observe directly (DESIGN §5): A
+// hears B but B never hears A.
+func (n *Network) SetLinkOneWayDown(from, to transport.Addr, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if down {
+		n.blocked[pair{from, to}] = true
+		n.obs.Event("netsim.link_down", string(from)+" -> "+string(to))
+	} else {
+		delete(n.blocked, pair{from, to})
+		n.obs.Event("netsim.link_up", string(from)+" -> "+string(to))
+	}
+}
+
+// SetExtraLoss adds an independent drop probability in [0, 1] on every link
+// on top of each profile's own loss — a network-wide loss burst (congestion
+// collapse, a flapping switch). Zero restores normal service. The extra
+// loss draws from the same seeded RNG as profile loss, so bursts are
+// deterministic; when it is zero no random number is consumed and existing
+// schedules replay unchanged.
+func (n *Network) SetExtraLoss(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	n.extraLoss = p
+	if p > 0 {
+		n.obs.Event("netsim.loss_burst", fmt.Sprintf("p=%.2f", p))
+	} else {
+		n.obs.Event("netsim.loss_burst_end", "")
+	}
+}
+
 // Partition blocks all traffic between nodes in different groups. Nodes not
 // listed in any group are unaffected. Partition composes with previously
 // blocked links; use Heal to clear everything.
@@ -216,9 +260,10 @@ func (n *Network) Heal() {
 	n.blocked = make(map[pair]bool)
 }
 
-// Crash makes the node at addr fail-stop: its endpoint is closed, all
-// packets to or from it are dropped, and the address can never be reused.
-// In-flight packets from the node still arrive (they already left the NIC).
+// Crash makes the node at addr fail-stop: its endpoint is closed and all
+// packets to or from it are dropped. In-flight packets from the node still
+// arrive (they already left the NIC). The address may be bound again with
+// NewEndpoint — a cold restart of the node.
 func (n *Network) Crash(addr transport.Addr) {
 	n.mu.Lock()
 	ep := n.nodes[addr]
@@ -261,6 +306,11 @@ func (n *Network) send(from, to transport.Addr, payload []byte) error {
 		prof = n.def
 	}
 	if prof.Loss > 0 && n.rng.Float64() < prof.Loss {
+		n.stats.Dropped++
+		n.ctrDrop.Inc()
+		return nil
+	}
+	if n.extraLoss > 0 && n.rng.Float64() < n.extraLoss {
 		n.stats.Dropped++
 		n.ctrDrop.Inc()
 		return nil

@@ -235,9 +235,9 @@ func (s *Server) Start() error {
 	// Serve replication requests from peers, and fetch whatever movies we
 	// were asked to serve but do not hold.
 	s.provider = fetch.NewProvider(s.cfg.Catalog,
-		s.mux.Channel(transport.ChannelBulk), s.mux.Channel(transport.ChannelBulkReply))
+		s.mux.Channel(transport.ChannelBulk), s.mux.Channel(transport.ChannelBulkReply), s.cfg.Obs)
 	s.fetcher = fetch.NewFetcher(s.cfg.Clock,
-		s.mux.Channel(transport.ChannelBulk), s.mux.Channel(transport.ChannelBulkReply))
+		s.mux.Channel(transport.ChannelBulk), s.mux.Channel(transport.ChannelBulkReply), s.cfg.Obs)
 	var missing []string
 	for _, id := range s.cfg.FetchMovies {
 		if !s.cfg.Catalog.Has(id) {

@@ -144,47 +144,131 @@ type Result struct {
 
 // AddServer starts a new server mid-scenario (the paper's load-balancing
 // trigger: "a new server was brought up and the client was migrated to it").
-func (rt *Runtime) AddServer(id string) {
+// Adding an ID that is already running (or whose address is otherwise taken)
+// is an error, not a panic, so fault schedules can be generated blindly.
+func (rt *Runtime) AddServer(id string) error {
+	if _, live := rt.servers[id]; live {
+		return fmt.Errorf("sim: server %q already running", id)
+	}
 	cat := store.NewCatalog()
 	cat.Add(rt.Movie)
+	return rt.startServer(id, cat, nil)
+}
+
+// RestartServer cold-starts a previously crashed server under its original
+// identity: it comes back with an EMPTY catalog, re-fetches the scenario's
+// movie from whichever peer holds it (package fetch), and only then joins
+// the movie group and absorbs load — §7's "a new server can be brought up
+// without any special preparations", applied to crash recovery. The node's
+// obs registry is reused, so counters accumulate across incarnations.
+func (rt *Runtime) RestartServer(id string) error {
+	if _, live := rt.servers[id]; live {
+		return fmt.Errorf("sim: server %q is already running", id)
+	}
+	if _, crashed := rt.retired[id]; !crashed {
+		return fmt.Errorf("sim: server %q never ran, nothing to restart", id)
+	}
+	return rt.startServer(id, store.NewCatalog(), []string{rt.Movie.ID()})
+}
+
+// startServer builds and starts one server instance on the runtime.
+func (rt *Runtime) startServer(id string, cat *store.Catalog, fetchMovies []string) error {
 	s, err := server.New(server.Config{
 		ID:           id,
 		Clock:        rt.Clk,
 		Network:      rt.Net,
 		Catalog:      cat,
+		FetchMovies:  fetchMovies,
 		Peers:        rt.scenario.Peers,
 		Flow:         rt.scenario.Flow,
 		SyncInterval: rt.scenario.SyncInterval,
 		Obs:          rt.registry(id),
 	})
 	if err != nil {
-		panic(fmt.Sprintf("sim: adding server %s: %v", id, err))
+		return fmt.Errorf("sim: adding server %s: %w", id, err)
 	}
 	if err := s.Start(); err != nil {
-		panic(fmt.Sprintf("sim: starting server %s: %v", id, err))
+		return fmt.Errorf("sim: starting server %s: %w", id, err)
 	}
 	rt.servers[id] = s
+	return nil
 }
 
-// CrashServer fail-stops a server.
-func (rt *Runtime) CrashServer(id string) {
+// CrashServer fail-stops a server. Stats accumulate in retired across
+// repeated crash/restart cycles of the same ID.
+func (rt *Runtime) CrashServer(id string) error {
 	s := rt.servers[id]
 	if s == nil {
-		panic(fmt.Sprintf("sim: no server %q to crash", id))
+		return fmt.Errorf("sim: no server %q to crash", id)
 	}
 	st := s.Stats()
-	rt.retired[id] = st
+	rt.retired[id] = addStats(rt.retired[id], st)
 	rt.retiredVideo += st.VideoBytes
 	s.Stop()
 	rt.Net.Crash(transport.Addr(id))
 	delete(rt.servers, id)
+	return nil
 }
 
-// CrashServing fail-stops whichever server currently serves the client.
-func (rt *Runtime) CrashServing() {
-	if id := rt.ServingServer(); id != "" {
-		rt.CrashServer(id)
+// CrashServing fail-stops whichever server currently serves the client and
+// reports whether one was crashed. Mid-takeover no server may hold the
+// session; the no-op leaves a trace event so a schedule replay shows it.
+func (rt *Runtime) CrashServing() bool {
+	id := rt.ServingServer()
+	if id == "" {
+		rt.registry("net").Event("sim.crash_serving_noop", "no server holds the session")
+		return false
 	}
+	_ = rt.CrashServer(id)
+	return true
+}
+
+// Partition splits the network into isolated groups; nodes not listed keep
+// their connectivity within the residual group (see netsim.Partition).
+func (rt *Runtime) Partition(groups ...[]string) {
+	conv := make([][]transport.Addr, len(groups))
+	for i, g := range groups {
+		for _, a := range g {
+			conv[i] = append(conv[i], transport.Addr(a))
+		}
+	}
+	rt.Net.Partition(conv...)
+}
+
+// HealNetwork clears every partition and link-down fault.
+func (rt *Runtime) HealNetwork() { rt.Net.Heal() }
+
+// SetLink takes the bidirectional link between a and b down (or back up).
+func (rt *Runtime) SetLink(a, b string, down bool) {
+	rt.Net.SetLinkDown(transport.Addr(a), transport.Addr(b), down)
+}
+
+// SetLinkOneWay takes only the from→to direction down (or back up) — the
+// asymmetric fault that breaks naive failure detectors.
+func (rt *Runtime) SetLinkOneWay(from, to string, down bool) {
+	rt.Net.SetLinkOneWayDown(transport.Addr(from), transport.Addr(to), down)
+}
+
+// LossBurst superimposes extra random loss p on every link for dur, then
+// clears it — a correlated loss episode (§2's best-effort network at its
+// worst) rather than a topological fault.
+func (rt *Runtime) LossBurst(p float64, dur time.Duration) {
+	rt.Net.SetExtraLoss(p)
+	rt.Clk.AfterFunc(dur, func() { rt.Net.SetExtraLoss(0) })
+}
+
+// addStats sums two server stat snapshots field by field.
+func addStats(a, b server.Stats) server.Stats {
+	a.FramesSent += b.FramesSent
+	a.VideoBytes += b.VideoBytes
+	a.SyncMessages += b.SyncMessages
+	a.SyncBytes += b.SyncBytes
+	a.SessionsOpened += b.SessionsOpened
+	a.Takeovers += b.Takeovers
+	a.Releases += b.Releases
+	a.Emergencies += b.Emergencies
+	a.FramesThinned += b.FramesThinned
+	return a
 }
 
 // ServingServer returns the server currently holding the client's session
@@ -254,7 +338,9 @@ func Run(sc Scenario) *Result {
 	}
 	net.SetObs(rt.registry("net"))
 	for _, id := range sc.Servers {
-		rt.AddServer(id)
+		if err := rt.AddServer(id); err != nil {
+			panic(err)
+		}
 	}
 
 	res := &Result{
@@ -349,8 +435,10 @@ func Run(sc Scenario) *Result {
 		res.ServerStats[id] = s.Stats()
 		s.Stop()
 	}
+	// A restarted server has both a live snapshot and retired history from
+	// earlier incarnations; report the lifetime totals.
 	for id, st := range rt.retired {
-		res.ServerStats[id] = st
+		res.ServerStats[id] = addStats(st, res.ServerStats[id])
 	}
 	res.Obs = make(map[string]obs.Snapshot, len(rt.regs))
 	for id, reg := range rt.regs {
