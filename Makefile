@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-short race bench chaos figures tables examples vet
+.PHONY: test test-short race bench bench-json bench-smoke chaos figures tables examples vet
 
 test:        ## full test suite (includes ~20s of real-clock tests)
 	go test ./...
@@ -13,6 +13,12 @@ race:        ## race detector over the whole module
 
 bench:       ## one benchmark per paper figure/table + micro benches
 	go test -bench=. -benchmem ./...
+
+bench-json:  ## hot-path benchmarks, recorded for regression comparison
+	go test -run='^$$' -bench=. -benchmem -json . > BENCH_hotpath.json
+
+bench-smoke: ## one cheap iteration of the throughput benchmark (CI)
+	go test -run='^$$' -bench=SimThroughput -benchtime=1x .
 
 chaos:       ## seeded fault schedules + invariant checks, race-clean
 	go test -race -short -run 'Chaos|Monkey' ./...

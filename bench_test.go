@@ -14,6 +14,24 @@ import (
 	"repro/internal/sim"
 )
 
+// BenchmarkSimThroughput measures the frame hot path end to end: the LAN
+// scenario's delivered datagrams per wall-clock second and the simulated-
+// to-wall time ratio, via the same sim.MeasureThroughput that backs
+// `vodbench -stats`. The allocs/op column is the alloc-regression headline
+// for the whole scenario; per-component floors are pinned by the
+// TestAllocs* tests in internal/{wire,clock,netsim}.
+func BenchmarkSimThroughput(b *testing.B) {
+	var packets, simSecs, wallSecs float64
+	for i := 0; i < b.N; i++ {
+		tp := sim.MeasureThroughput(int64(i + 1))
+		packets += float64(tp.Packets)
+		simSecs += tp.SimTime.Seconds()
+		wallSecs += tp.WallTime.Seconds()
+	}
+	b.ReportMetric(packets/wallSecs, "packets/s")
+	b.ReportMetric(simSecs/wallSecs, "sim-s/wall-s")
+}
+
 // BenchmarkFig4LANScenario regenerates Figures 4a–4d: the 90-second LAN
 // run with a server crash at ~38s and a load-balancing migration ~24s
 // later. Reported metrics are the figures' headline values.

@@ -27,6 +27,8 @@ import (
 	"os"
 	"sort"
 
+	"time"
+
 	"repro/internal/chaos"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -97,6 +99,18 @@ func run(args []string) error {
 			}
 			fmt.Fprintln(out)
 		}
+		// Hot-path throughput, from the exact code path the
+		// BenchmarkSimThroughput regression benchmark measures.
+		tp := sim.MeasureThroughput(*seed)
+		fmt.Fprintf(out, "== hot path: simulator throughput (LAN scenario, seed %d) ==\n", *seed)
+		fmt.Fprintf(out, "%-24s %d\n", "delivered packets", tp.Packets)
+		fmt.Fprintf(out, "%-24s %d\n", "delivered bytes", tp.Bytes)
+		fmt.Fprintf(out, "%-24s %d\n", "heap allocs", tp.Allocs)
+		fmt.Fprintf(out, "%-24s %d\n", "heap bytes", tp.AllocBytes)
+		fmt.Fprintf(out, "%-24s %.2f\n", "allocs per packet", float64(tp.Allocs)/float64(tp.Packets))
+		fmt.Fprintf(out, "%-24s %s\n", "wall time", tp.WallTime.Round(time.Millisecond))
+		fmt.Fprintf(out, "%-24s %.0f\n", "packets/s (wall)", tp.PacketsPerSec())
+		fmt.Fprintf(out, "%-24s %.0f\n", "sim-s per wall-s", tp.SpeedRatio())
 		return nil
 	}
 	all := *fig == "" && *table == ""

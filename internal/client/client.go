@@ -198,6 +198,12 @@ type Client struct {
 	lastArrival time.Time
 	lastIndex   uint32
 	jitter      time.Duration
+
+	// frameIn is the reusable decode target for inbound video frames,
+	// guarded by mu. Nothing past onVideo retains it or its payload, so a
+	// warm client decodes a frame with zero allocations (the movie string is
+	// reused across the whole session).
+	frameIn wire.Frame
 }
 
 // New creates a client bound to its own endpoint. Call Watch to start.
@@ -518,15 +524,15 @@ func (c *Client) starveTick() {
 // onVideo handles an arriving video frame: buffer it and run the flow
 // control policy on the new occupancy.
 func (c *Client) onVideo(_ transport.Addr, payload []byte) {
-	msg, err := wire.Decode(payload)
-	if err != nil {
-		return
-	}
-	frame, ok := msg.(*wire.Frame)
-	if !ok {
-		return
-	}
 	c.mu.Lock()
+	// Decode into the per-client scratch frame (under mu: concurrent
+	// deliveries are possible on a real clock). Non-frame or malformed
+	// datagrams on the video channel are dropped, as before.
+	frame := &c.frameIn
+	if err := wire.DecodeFrameInto(frame, payload); err != nil {
+		c.mu.Unlock()
+		return
+	}
 	if c.state != StateWatching || frame.Movie != c.movie {
 		c.mu.Unlock()
 		return

@@ -1,0 +1,55 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the Virtual clock's free-list guarantees: the arm → fire →
+// release cycle that frame pacing and packet delivery run tens of thousands
+// of times per simulated second must not allocate once the first event
+// record exists.
+
+func TestAllocsAfterFuncFireRelease(t *testing.T) {
+	clk := NewVirtual(time.Unix(0, 0))
+	fn := func() {}
+	tm := clk.AfterFunc(time.Millisecond, fn) // warm: creates the one record
+	clk.Advance(time.Millisecond)
+	Release(tm)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm := clk.AfterFunc(time.Millisecond, fn)
+		clk.Advance(time.Millisecond)
+		Release(tm)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm AfterFunc/fire/Release cycle = %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestAllocsAfterFuncStopRelease(t *testing.T) {
+	clk := NewVirtual(time.Unix(0, 0))
+	fn := func() {}
+	Release(clk.AfterFunc(time.Millisecond, fn)) // warm
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm := clk.AfterFunc(time.Millisecond, fn)
+		tm.Stop()
+		Release(tm)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm AfterFunc/Stop/Release cycle = %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestAllocsScheduleFire(t *testing.T) {
+	clk := NewVirtual(time.Unix(0, 0))
+	fn := func() {}
+	clk.Schedule(time.Millisecond, fn) // warm
+	clk.Advance(time.Millisecond)
+	allocs := testing.AllocsPerRun(1000, func() {
+		clk.Schedule(time.Millisecond, fn)
+		clk.Advance(time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Schedule/fire cycle = %v allocs/op, want 0", allocs)
+	}
+}

@@ -34,6 +34,27 @@ type Timer interface {
 	Stop() bool
 }
 
+// Scheduler is an optional fast path a Clock may provide for fire-and-forget
+// callbacks that will never be cancelled. It carries the same semantics as
+// AfterFunc minus the Timer handle, which lets an implementation recycle the
+// timer record the moment the callback fires. Callers that might need Stop
+// must use AfterFunc.
+type Scheduler interface {
+	Schedule(d time.Duration, f func())
+}
+
+// Schedule runs f once, d from now, on c. It uses the Scheduler fast path
+// when c provides one and falls back to AfterFunc otherwise, so hot callers
+// (per-packet delivery events) can stay allocation-free on a Virtual clock
+// without type-asserting themselves.
+func Schedule(c Clock, d time.Duration, f func()) {
+	if s, ok := c.(Scheduler); ok {
+		s.Schedule(d, f)
+		return
+	}
+	c.AfterFunc(d, f)
+}
+
 // Real is a Clock backed by the standard time package.
 // The zero value is ready to use.
 type Real struct{}
@@ -47,6 +68,9 @@ func (Real) Now() time.Time { return time.Now() }
 func (Real) AfterFunc(d time.Duration, f func()) Timer {
 	return realTimer{t: time.AfterFunc(d, f)}
 }
+
+// Schedule implements Scheduler.
+func (Real) Schedule(d time.Duration, f func()) { time.AfterFunc(d, f) }
 
 type realTimer struct{ t *time.Timer }
 

@@ -14,6 +14,7 @@ type Periodic struct {
 	c       Clock
 	period  time.Duration
 	fn      func()
+	tickFn  func() // p.tick, bound once: a method value allocates per use
 	timer   Timer
 	stopped bool
 }
@@ -26,8 +27,9 @@ func Every(c Clock, period time.Duration, fn func()) *Periodic {
 		panic("clock: Every requires a positive period")
 	}
 	p := &Periodic{c: c, period: period, fn: fn}
+	p.tickFn = p.tick
 	p.mu.Lock()
-	p.timer = c.AfterFunc(period, p.tick)
+	p.timer = c.AfterFunc(period, p.tickFn)
 	p.mu.Unlock()
 	return p
 }
@@ -38,7 +40,10 @@ func (p *Periodic) tick() {
 		p.mu.Unlock()
 		return
 	}
-	p.timer = p.c.AfterFunc(p.period, p.tick)
+	// The pending timer just fired; recycle its record before re-arming so a
+	// long-lived heartbeat reuses one event record forever.
+	Release(p.timer)
+	p.timer = p.c.AfterFunc(p.period, p.tickFn)
 	p.mu.Unlock()
 	p.fn()
 }
@@ -64,6 +69,7 @@ func (p *Periodic) Stop() {
 	}
 	p.stopped = true
 	if p.timer != nil {
-		p.timer.Stop()
+		Release(p.timer)
+		p.timer = nil
 	}
 }

@@ -1,7 +1,6 @@
 package clock
 
 import (
-	"container/heap"
 	"sync"
 	"time"
 )
@@ -13,15 +12,23 @@ import (
 // sequentially on whichever goroutine drives the clock (Step, Advance or
 // Drain), never concurrently with each other. Event callbacks may schedule
 // further events and stop timers.
+//
+// The event queue is a slice-backed binary min-heap ordered by (when, seq)
+// with a free list of event records, so steady-state timer traffic — frame
+// pacing, heartbeats, packet deliveries — allocates nothing: Schedule
+// recycles its event automatically when it fires, and AfterFunc callers that
+// are done with a Timer can hand its record back with Release.
 type Virtual struct {
 	mu   sync.Mutex
 	now  time.Time
-	pq   eventQueue
+	pq   []*event // min-heap on (when, seq)
+	free *event   // free list, linked through event.nextFree
 	seq  uint64
 	runs uint64 // total events executed, for diagnostics
 }
 
 var _ Clock = (*Virtual)(nil)
+var _ Scheduler = (*Virtual)(nil)
 
 // NewVirtual returns a Virtual clock whose current time is start.
 func NewVirtual(start time.Time) *Virtual {
@@ -35,29 +42,52 @@ func (c *Virtual) Now() time.Time {
 	return c.now
 }
 
-// AfterFunc implements Clock.
-func (c *Virtual) AfterFunc(d time.Duration, f func()) Timer {
+// newEventLocked takes an event record off the free list (or allocates one)
+// and arms it. Caller must hold mu.
+func (c *Virtual) newEventLocked(d time.Duration, f func(), autoFree bool) *event {
 	if d < 0 {
 		d = 0
 	}
+	ev := c.free
+	if ev != nil {
+		c.free = ev.nextFree
+		ev.nextFree = nil
+	} else {
+		ev = &event{c: c}
+	}
+	ev.when = c.now.Add(d)
+	ev.seq = c.seq
+	ev.fn = f
+	ev.state = statePending
+	ev.autoFree = autoFree
+	c.seq++
+	c.pushLocked(ev)
+	return ev
+}
+
+// AfterFunc implements Clock. The returned Timer's record is not recycled
+// until the caller passes it to Release (or the Schedule fast path is used
+// instead), so holding a handle across an arbitrary span stays safe.
+func (c *Virtual) AfterFunc(d time.Duration, f func()) Timer {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ev := &event{
-		when: c.now.Add(d),
-		seq:  c.seq,
-		fn:   f,
-		c:    c,
-	}
-	c.seq++
-	heap.Push(&c.pq, ev)
-	return ev
+	return c.newEventLocked(d, f, false)
+}
+
+// Schedule implements Scheduler: AfterFunc without the Timer handle. The
+// internal event record returns to the free list as soon as the callback
+// fires, so steady-state fire-and-forget scheduling does not allocate.
+func (c *Virtual) Schedule(d time.Duration, f func()) {
+	c.mu.Lock()
+	c.newEventLocked(d, f, true)
+	c.mu.Unlock()
 }
 
 // Len returns the number of pending events.
 func (c *Virtual) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.pq.Len()
+	return len(c.pq)
 }
 
 // Executed returns the total number of events run so far.
@@ -71,18 +101,39 @@ func (c *Virtual) Executed() uint64 {
 // deadline. It reports whether an event was executed.
 func (c *Virtual) Step() bool {
 	c.mu.Lock()
-	ev := c.pop()
-	if ev == nil {
-		c.mu.Unlock()
+	fn := c.takeLocked(nil)
+	c.mu.Unlock()
+	if fn == nil {
 		return false
 	}
+	fn()
+	return true
+}
+
+// takeLocked pops the earliest event due at or before limit (no limit when
+// nil), advances the clock to its deadline, and returns its callback — nil
+// if no event qualifies. Auto-free events are recycled here, before the
+// callback runs: nothing else references them, and the callback itself is
+// already copied out. Caller holds mu.
+func (c *Virtual) takeLocked(limit *time.Time) func() {
+	if len(c.pq) == 0 {
+		return nil
+	}
+	ev := c.pq[0]
+	if limit != nil && ev.when.After(*limit) {
+		return nil
+	}
+	c.popLocked()
 	if ev.when.After(c.now) {
 		c.now = ev.when
 	}
 	c.runs++
-	c.mu.Unlock()
-	ev.fn()
-	return true
+	ev.state = stateFired
+	fn := ev.fn
+	if ev.autoFree {
+		c.recycleLocked(ev)
+	}
+	return fn
 }
 
 // Advance runs every event with a deadline at or before now+d, in order,
@@ -103,21 +154,16 @@ func (c *Virtual) AdvanceTo(t time.Time) int {
 	n := 0
 	for {
 		c.mu.Lock()
-		next := c.peek()
-		if next == nil || next.when.After(t) {
+		fn := c.takeLocked(&t)
+		if fn == nil {
 			if t.After(c.now) {
 				c.now = t
 			}
 			c.mu.Unlock()
 			return n
 		}
-		ev := c.pop()
-		if ev.when.After(c.now) {
-			c.now = ev.when
-		}
-		c.runs++
 		c.mu.Unlock()
-		ev.fn()
+		fn()
 		n++
 	}
 }
@@ -137,96 +183,157 @@ func (c *Virtual) Drain(limit int) int {
 	return n
 }
 
-// pop removes and returns the earliest live event, skipping stopped ones.
-// Caller must hold mu.
-func (c *Virtual) pop() *event {
-	for c.pq.Len() > 0 {
-		ev, ok := heap.Pop(&c.pq).(*event)
-		if !ok {
-			continue
-		}
-		if ev.stopped {
-			continue
-		}
-		ev.fired = true
-		return ev
-	}
-	return nil
+// recycleLocked clears an event record and links it onto the free list.
+// Caller holds mu; the event must no longer be in the heap.
+func (c *Virtual) recycleLocked(ev *event) {
+	ev.fn = nil
+	ev.state = stateFree
+	ev.nextFree = c.free
+	c.free = ev
 }
 
-// peek returns the earliest live event without removing it, discarding
-// stopped events it passes over. Caller must hold mu.
-func (c *Virtual) peek() *event {
-	for c.pq.Len() > 0 {
-		ev := c.pq[0]
-		if ev.stopped {
-			heap.Pop(&c.pq)
-			continue
-		}
-		return ev
-	}
-	return nil
-}
+// Event lifecycle states.
+const (
+	statePending = uint8(iota) // armed, in the heap
+	stateFired                 // callback ran (or is about to run)
+	stateStopped               // cancelled before firing
+	stateFree                  // recycled onto the free list
+)
 
 // event is a pending Virtual callback; it doubles as the Timer handle.
 type event struct {
-	when    time.Time
-	seq     uint64
-	fn      func()
-	c       *Virtual
-	stopped bool
-	fired   bool
-	index   int // heap index; -1 once popped
+	when     time.Time
+	seq      uint64
+	fn       func()
+	c        *Virtual
+	nextFree *event // free-list link while recycled
+	index    int    // heap index; -1 once removed
+	state    uint8
+	autoFree bool // Schedule()-created: recycle on fire, no handle exists
 }
 
 var _ Timer = (*event)(nil)
 
-// Stop implements Timer. Stopped events are lazily removed from the queue.
+// Stop implements Timer. A stopped event is removed from the queue
+// immediately; its record is reclaimed by the garbage collector unless the
+// caller also hands it back with Release.
 func (ev *event) Stop() bool {
 	ev.c.mu.Lock()
 	defer ev.c.mu.Unlock()
-	if ev.stopped || ev.fired {
+	if ev.state != statePending {
 		return false
 	}
-	ev.stopped = true
+	ev.c.removeLocked(ev)
+	ev.state = stateStopped
+	ev.fn = nil
 	return true
 }
 
-// eventQueue is a min-heap ordered by (when, seq).
-type eventQueue []*event
-
-var _ heap.Interface = (*eventQueue)(nil)
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if !q[i].when.Equal(q[j].when) {
-		return q[i].when.Before(q[j].when)
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*event)
+// Release cancels t if it is still pending and returns its internal record
+// to the owning Virtual clock's free list. It is the explicit opt-in that
+// makes re-arming timer patterns (pacing loops, periodic tasks)
+// allocation-free: after Release returns, the handle is dead and must be
+// discarded — calling Stop or Release on it again is a caller bug, since the
+// record may already be carrying an unrelated timer. For Timers from other
+// clocks, Release just calls Stop.
+func Release(t Timer) {
+	ev, ok := t.(*event)
 	if !ok {
+		if t != nil {
+			t.Stop()
+		}
 		return
 	}
-	ev.index = len(*q)
-	*q = append(*q, ev)
+	c := ev.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch ev.state {
+	case statePending:
+		c.removeLocked(ev)
+	case stateFree:
+		// Double release: the record may already back another timer, so
+		// touching it would corrupt the queue. Leave it alone.
+		return
+	}
+	c.recycleLocked(ev)
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+// Heap primitives: a standard binary min-heap on (when, seq), kept inline
+// (no container/heap) so Push/Pop stay monomorphic and allocation-free.
+
+func (c *Virtual) lessLocked(i, j int) bool {
+	a, b := c.pq[i], c.pq[j]
+	if !a.when.Equal(b.when) {
+		return a.when.Before(b.when)
+	}
+	return a.seq < b.seq
+}
+
+func (c *Virtual) swapLocked(i, j int) {
+	c.pq[i], c.pq[j] = c.pq[j], c.pq[i]
+	c.pq[i].index = i
+	c.pq[j].index = j
+}
+
+func (c *Virtual) pushLocked(ev *event) {
+	ev.index = len(c.pq)
+	c.pq = append(c.pq, ev)
+	c.upLocked(ev.index)
+}
+
+// popLocked removes the heap root.
+func (c *Virtual) popLocked() {
+	last := len(c.pq) - 1
+	root := c.pq[0]
+	c.swapLocked(0, last)
+	c.pq[last] = nil
+	c.pq = c.pq[:last]
+	root.index = -1
+	if last > 0 {
+		c.downLocked(0)
+	}
+}
+
+// removeLocked deletes an event from an arbitrary heap position.
+func (c *Virtual) removeLocked(ev *event) {
+	i := ev.index
+	last := len(c.pq) - 1
+	c.swapLocked(i, last)
+	c.pq[last] = nil
+	c.pq = c.pq[:last]
 	ev.index = -1
-	*q = old[:n-1]
-	return ev
+	if i < last {
+		c.downLocked(i)
+		c.upLocked(i)
+	}
+}
+
+func (c *Virtual) upLocked(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.lessLocked(i, parent) {
+			break
+		}
+		c.swapLocked(i, parent)
+		i = parent
+	}
+}
+
+func (c *Virtual) downLocked(i int) {
+	n := len(c.pq)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && c.lessLocked(right, left) {
+			least = right
+		}
+		if !c.lessLocked(least, i) {
+			return
+		}
+		c.swapLocked(i, least)
+		i = least
+	}
 }

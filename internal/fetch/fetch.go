@@ -46,8 +46,9 @@ type Provider struct {
 	ctrServed   *obs.Counter // fetch.chunks_served
 	ctrNotFound *obs.Counter // fetch.not_found
 
-	mu     sync.Mutex
-	serial map[string][]byte // serialized movies, built lazily
+	mu      sync.Mutex
+	serial  map[string][]byte // serialized movies, built lazily
+	scratch []byte            // reusable response buffer, guarded by mu
 }
 
 // NewProvider starts serving the catalog's movies. reg (nil ok) receives
@@ -77,14 +78,16 @@ func (p *Provider) onPacket(from transport.Addr, payload []byte) {
 		return
 	}
 
-	data, err := p.serializedLocked(movieID)
+	data, err := p.serialized(movieID)
 	if err != nil {
 		p.ctrNotFound.Inc()
-		resp := make([]byte, 0, 32)
-		resp = wire.AppendU8(resp, kindNotFound)
+		p.mu.Lock()
+		resp := wire.AppendU8(p.scratch[:0], kindNotFound)
 		resp = wire.AppendU64(resp, reqID)
 		resp = wire.AppendString(resp, movieID)
+		p.scratch = resp[:0]
 		_ = p.out.Send(from, resp)
+		p.mu.Unlock()
 		return
 	}
 	total := (len(data) + ChunkSize - 1) / ChunkSize
@@ -96,20 +99,24 @@ func (p *Provider) onPacket(from transport.Addr, payload []byte) {
 	if hi > len(data) {
 		hi = len(data)
 	}
-	resp := make([]byte, 0, 64+hi-lo)
-	resp = wire.AppendU8(resp, kindChunkResp)
+	// Responses are framed into a reusable scratch buffer; Send does not
+	// retain the payload, so the buffer is free again once it returns.
+	p.mu.Lock()
+	resp := wire.AppendU8(p.scratch[:0], kindChunkResp)
 	resp = wire.AppendU64(resp, reqID)
 	resp = wire.AppendString(resp, movieID)
 	resp = wire.AppendU32(resp, uint32(chunk))
 	resp = wire.AppendU32(resp, uint32(total))
 	resp = wire.AppendBytes(resp, data[lo:hi])
+	p.scratch = resp[:0]
 	p.ctrServed.Inc()
 	_ = p.out.Send(from, resp)
+	p.mu.Unlock()
 }
 
-// serializedLocked returns (building and caching on first use) the movie's
+// serialized returns (building and caching on first use) the movie's
 // on-the-wire form.
-func (p *Provider) serializedLocked(movieID string) ([]byte, error) {
+func (p *Provider) serialized(movieID string) ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if data, ok := p.serial[movieID]; ok {
@@ -152,6 +159,7 @@ type Fetcher struct {
 	mu      sync.Mutex
 	nextID  uint64
 	current *transfer
+	reqBuf  []byte // reusable request buffer, guarded by mu
 }
 
 type transfer struct {
@@ -211,16 +219,16 @@ func (f *Fetcher) Fetch(movieID string, peer transport.Addr, callback func(*mpeg
 }
 
 func (f *Fetcher) requestChunk(tr *transfer) {
-	req := make([]byte, 0, 32)
-	req = wire.AppendU8(req, kindChunkReq)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	req := wire.AppendU8(f.reqBuf[:0], kindChunkReq)
 	req = wire.AppendU64(req, tr.id)
 	req = wire.AppendString(req, tr.movie)
 	req = wire.AppendU32(req, uint32(tr.next))
+	f.reqBuf = req[:0]
 	f.ctrRequests.Inc()
 	_ = f.out.Send(tr.peer, req)
 
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	if f.current != tr {
 		return
 	}

@@ -1,6 +1,10 @@
 package gcs
 
-import "repro/internal/wire"
+import (
+	"sort"
+
+	"repro/internal/wire"
+)
 
 // Agreed (totally-ordered) multicast — the second delivery service Transis
 // offers alongside FIFO. Implemented with the classical sequencer pattern:
@@ -154,8 +158,15 @@ func (m *Member) agreedRetryLocked(cb *callbacks) {
 		return
 	}
 	coord := m.view.Coordinator()
-	for seq, data := range m.agreedPending {
-		req := &msgAgreedReq{group: m.group, seq: seq, payload: data}
+	// Retransmit in sequence order, not map order: each send perturbs the
+	// simulated network's shared RNG, so ordering must be deterministic.
+	seqs := make([]uint64, 0, len(m.agreedPending))
+	for seq := range m.agreedPending {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		req := &msgAgreedReq{group: m.group, seq: seq, payload: m.agreedPending[seq]}
 		if coord == m.p.id {
 			m.onAgreedReqLocked(m.p.id, req, cb)
 		} else {

@@ -47,7 +47,7 @@ func (m *Member) MulticastCausal(payload []byte) error {
 func wrapCausal(vector map[ProcessID]uint64, body []byte) []byte {
 	out := make([]byte, 0, 16+len(body)+16*len(vector))
 	out = wire.AppendU8(out, payloadCausal)
-	out = appendVec(out, vector)
+	out = appendVec(out, vector, nil)
 	return append(out, body...)
 }
 

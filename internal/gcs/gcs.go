@@ -155,6 +155,11 @@ type Process struct {
 	fd      *detector
 	direct  func(from ProcessID, payload []byte)
 
+	// codec holds the inbound decode reuse state (intern table, message and
+	// vector free lists). It has its own lock: decoding happens before p.mu
+	// is taken.
+	codec codec
+
 	hbTask *clock.Periodic
 }
 
@@ -260,7 +265,7 @@ func (p *Process) Close() {
 		return
 	}
 	p.closed = true
-	for _, m := range p.members {
+	for _, m := range p.membersOrderedLocked() {
 		m.deactivateLocked()
 	}
 	p.mu.Unlock()
@@ -281,7 +286,11 @@ func (p *Process) heartbeatTick() {
 	for _, s := range newlySuspected {
 		p.ctr.suspicions.Inc()
 		p.cfg.Obs.Event("gcs.suspect", string(s))
-		for _, m := range p.members {
+		// Iterate in group order, not map order: suspicion handling sends
+		// packets and queues callbacks, and every simulated packet draws
+		// from a shared RNG — map order here would make whole runs
+		// irreproducible.
+		for _, m := range p.membersOrderedLocked() {
 			m.onSuspicionLocked(s, &cb)
 		}
 	}
@@ -294,7 +303,7 @@ func (p *Process) heartbeatTick() {
 
 // onPacket is the transport inbound handler.
 func (p *Process) onPacket(from ProcessID, payload []byte) {
-	msg, err := decodeMessage(payload)
+	msg, err := p.codec.decode(payload)
 	if err != nil {
 		return // corrupt or alien datagram; drop like UDP noise
 	}
@@ -302,6 +311,7 @@ func (p *Process) onPacket(from ProcessID, payload []byte) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		p.codec.recycle(msg)
 		return
 	}
 	p.fd.heardLocked(from)
@@ -331,6 +341,10 @@ func (p *Process) onPacket(from ProcessID, payload []byte) {
 		}
 	}
 	p.mu.Unlock()
+	// Dispatch done: pooled kinds were either copied (parked multicasts)
+	// or folded into persistent state (ack vectors), so their decoded
+	// forms can be reused. Deferred callbacks never capture msg itself.
+	p.codec.recycle(msg)
 	cb.run()
 }
 
@@ -348,17 +362,34 @@ func (c *callbacks) run() {
 	}
 }
 
+// sortIDs sorts ids ascending in place. Insertion sort: membership and key
+// lists are small (tens at most), and unlike sort.Slice this allocates
+// nothing (no closure, no reflect-based swapper), which matters on the
+// per-tick gossip paths.
+func sortIDs(ids []ProcessID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
 // sortedIDs returns a sorted copy of ids with duplicates removed.
 func sortedIDs(ids []ProcessID) []ProcessID {
 	out := make([]ProcessID, 0, len(ids))
-	seen := make(map[ProcessID]bool, len(ids))
 	for _, id := range ids {
-		if !seen[id] {
-			seen[id] = true
+		dup := false
+		for _, seen := range out {
+			if seen == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sortIDs(out)
 	return out
 }
 
@@ -374,5 +405,20 @@ func (p *Process) Groups() []string {
 		}
 	}
 	sort.Strings(out)
+	return out
+}
+
+// membersOrderedLocked returns the memberships sorted by group name.
+// Anything that fans out across groups — suspicion handling, shutdown —
+// must use this rather than ranging over the members map: those paths send
+// packets and queue callbacks, and the simulated network draws loss and
+// jitter from one shared RNG, so map iteration order would leak into (and
+// randomize) otherwise seed-deterministic runs.
+func (p *Process) membersOrderedLocked() []*Member {
+	out := make([]*Member, 0, len(p.members))
+	for _, m := range p.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].group < out[j].group })
 	return out
 }

@@ -72,6 +72,13 @@ type Member struct {
 	presenceTask *clock.Periodic
 	debounce     clock.Timer
 	leaveTimer   clock.Timer
+
+	// Reusable scratch for the periodic gossip ticks, guarded by p.mu.
+	// Packets are fully serialized and handed to Send (which copies) before
+	// the lock is released, so one warm buffer set serves every tick.
+	encBuf        []byte
+	vecKeys       []ProcessID
+	contigScratch map[ProcessID]uint64
 }
 
 // mcastState is the per-view reliable-FIFO multicast machinery.
@@ -478,7 +485,9 @@ func (m *Member) onAckVecLocked(from ProcessID, msg *msgAckVec, cb *callbacks) {
 		return
 	}
 	delete(m.divergeCount, from)
-	m.ms.peerAck[from] = msg.vec
+	// Fold the vectors into persistent per-peer maps rather than retaining
+	// msg's maps: the decode layer recycles them once dispatch returns.
+	mergeVec(&m.ms.peerAck, from, msg.vec)
 	// Tail-loss repair: the sender's own contig entry equals its send
 	// counter (it parks everything it sends), so a higher value than our
 	// contiguous receipt means messages we never saw — and, being the
@@ -499,11 +508,26 @@ func (m *Member) onAckVecLocked(from ProcessID, msg *msgAckVec, cb *callbacks) {
 		_ = m.p.cfg.Endpoint.Send(from, nak)
 	}
 	if msg.contig != nil {
-		m.ms.peerContig[from] = msg.contig
+		mergeVec(&m.ms.peerContig, from, msg.contig)
 		// Fresh receipt acknowledgements may open the safe-delivery gate.
 		m.deliverAllReadyLocked(cb)
 	}
 	m.gcStableLocked()
+}
+
+// mergeVec replaces (*peer)[from]'s contents with src, reusing the existing
+// map storage when present.
+func mergeVec(peer *map[ProcessID]map[ProcessID]uint64, from ProcessID, src map[ProcessID]uint64) {
+	dst := (*peer)[from]
+	if dst == nil {
+		dst = make(map[ProcessID]uint64, len(src))
+		(*peer)[from] = dst
+	} else {
+		clear(dst)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
 }
 
 func (m *Member) gcStableLocked() {
@@ -723,27 +747,25 @@ func (m *Member) ackTick() {
 		m.p.mu.Unlock()
 		return
 	}
-	vec := make(map[ProcessID]uint64, len(m.ms.recvNext))
-	for k, v := range m.ms.recvNext {
-		vec[k] = v
+	if m.contigScratch == nil {
+		m.contigScratch = make(map[ProcessID]uint64, len(m.view.Members))
+	} else {
+		clear(m.contigScratch)
 	}
-	pkt := encodeAckVec(&msgAckVec{group: m.group, view: m.view.ID, vec: vec, contig: m.contigLocked()})
-	peers := m.peersLocked()
-	m.p.mu.Unlock()
-	for _, id := range peers {
-		_ = m.p.cfg.Endpoint.Send(id, pkt)
+	for _, sender := range m.view.Members {
+		m.contigScratch[sender] = m.contigForLocked(sender)
 	}
-}
-
-// peersLocked returns the other members of the current view.
-func (m *Member) peersLocked() []ProcessID {
-	out := make([]ProcessID, 0, len(m.view.Members))
+	// Encode straight from the live delivery map into the member scratch:
+	// the packet is complete (and Send copies) before the lock is released,
+	// so neither the map nor the buffer needs a defensive copy.
+	pkt := appendAckVec(m.encBuf[:0], m.group, m.view.ID, m.ms.recvNext, m.contigScratch, &m.vecKeys)
+	m.encBuf = pkt[:0]
 	for _, id := range m.view.Members {
 		if id != m.p.id {
-			out = append(out, id)
+			_ = m.p.cfg.Endpoint.Send(id, pkt)
 		}
 	}
-	return out
+	m.p.mu.Unlock()
 }
 
 // retransTick drives NAK-based gap repair, flush progress and the flush
@@ -791,32 +813,21 @@ func (m *Member) retransTick() {
 // and partition re-merges.
 func (m *Member) presenceTick() {
 	m.p.mu.Lock()
-	if !m.active || m.leaving {
-		m.p.mu.Unlock()
-		return
+	if m.active && !m.leaving {
+		m.sendPresenceLocked()
 	}
-	targets := m.presenceTargetsLocked()
-	pkt := encodePresence(&msgPresence{group: m.group, view: m.view.ID, members: m.view.Members})
 	m.p.mu.Unlock()
-	for _, id := range targets {
-		_ = m.p.cfg.Endpoint.Send(id, pkt)
-	}
 }
 
-func (m *Member) presenceTargetsLocked() []ProcessID {
-	var out []ProcessID
+// sendPresenceLocked announces the view to contacts outside it (periodic,
+// and immediately after Join). The packet is built in the member scratch
+// and handed to Send under p.mu — Send copies, so that is safe.
+func (m *Member) sendPresenceLocked() {
+	pkt := appendPresence(m.encBuf[:0], m.group, m.view.ID, m.view.Members)
+	m.encBuf = pkt[:0]
 	for _, id := range m.contacts {
 		if id != m.p.id && !m.view.Includes(id) {
-			out = append(out, id)
+			_ = m.p.cfg.Endpoint.Send(id, pkt)
 		}
-	}
-	return out
-}
-
-// sendPresenceLocked announces immediately (used right after Join).
-func (m *Member) sendPresenceLocked() {
-	pkt := encodePresence(&msgPresence{group: m.group, view: m.view.ID, members: m.view.Members})
-	for _, id := range m.presenceTargetsLocked() {
-		_ = m.p.cfg.Endpoint.Send(id, pkt)
 	}
 }

@@ -2,7 +2,6 @@ package gcs
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/wire"
 )
@@ -182,17 +181,9 @@ func appendViewID(b []byte, v ViewID) []byte {
 	return wire.AppendString(b, string(v.Coord))
 }
 
-func readViewID(r *wire.Reader) ViewID {
-	return ViewID{Seq: r.U64(), Coord: ProcessID(r.String())}
-}
-
 func appendPID(b []byte, pid proposalID) []byte {
 	b = wire.AppendU64(b, pid.Round)
 	return wire.AppendString(b, string(pid.Coord))
-}
-
-func readPID(r *wire.Reader) proposalID {
-	return proposalID{Round: r.U64(), Coord: ProcessID(r.String())}
 }
 
 func appendIDs(b []byte, ids []ProcessID) []byte {
@@ -203,33 +194,28 @@ func appendIDs(b []byte, ids []ProcessID) []byte {
 	return b
 }
 
-func readIDs(r *wire.Reader) []ProcessID {
-	n := int(r.U16())
-	if r.Err() != nil {
-		return nil
-	}
-	ids := make([]ProcessID, 0, n)
-	for i := 0; i < n; i++ {
-		ids = append(ids, ProcessID(r.String()))
-		if r.Err() != nil {
-			return nil
-		}
-	}
-	return ids
-}
-
 // appendVec encodes a process→seq map in sorted key order so encodings are
-// deterministic (useful for tests and replay).
-func appendVec(b []byte, vec map[ProcessID]uint64) []byte {
-	keys := make([]ProcessID, 0, len(vec))
+// deterministic (useful for tests and replay). scratch, when non-nil, lends
+// a reusable key buffer so steady-state callers (the ack gossip tick) sort
+// without allocating; it is left reset for the next call.
+func appendVec(b []byte, vec map[ProcessID]uint64, scratch *[]ProcessID) []byte {
+	var keys []ProcessID
+	if scratch != nil {
+		keys = (*scratch)[:0]
+	} else {
+		keys = make([]ProcessID, 0, len(vec))
+	}
 	for k := range vec {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	sortIDs(keys)
 	b = wire.AppendU16(b, uint16(len(keys)))
 	for _, k := range keys {
 		b = wire.AppendString(b, string(k))
 		b = wire.AppendU64(b, vec[k])
+	}
+	if scratch != nil {
+		*scratch = keys[:0]
 	}
 	return b
 }
@@ -291,8 +277,19 @@ func encodeAckVec(m *msgAckVec) []byte {
 	b = wire.AppendU8(b, kindAckVec)
 	b = wire.AppendString(b, m.group)
 	b = appendViewID(b, m.view)
-	b = appendVec(b, m.vec)
-	return appendVec(b, m.contig)
+	b = appendVec(b, m.vec, nil)
+	return appendVec(b, m.contig, nil)
+}
+
+// appendAckVec is encodeAckVec's append-into-scratch form for the periodic
+// ack gossip, which runs hot enough that a fresh packet buffer per tick
+// shows up in profiles.
+func appendAckVec(b []byte, group string, view ViewID, vec, contig map[ProcessID]uint64, scratch *[]ProcessID) []byte {
+	b = wire.AppendU8(b, kindAckVec)
+	b = wire.AppendString(b, group)
+	b = appendViewID(b, view)
+	b = appendVec(b, vec, scratch)
+	return appendVec(b, contig, scratch)
 }
 
 func encodePresence(m *msgPresence) []byte {
@@ -301,6 +298,15 @@ func encodePresence(m *msgPresence) []byte {
 	b = wire.AppendString(b, m.group)
 	b = appendViewID(b, m.view)
 	return appendIDs(b, m.members)
+}
+
+// appendPresence is encodePresence's append-into-scratch form for the
+// periodic presence announcement.
+func appendPresence(b []byte, group string, view ViewID, members []ProcessID) []byte {
+	b = wire.AppendU8(b, kindPresence)
+	b = wire.AppendString(b, group)
+	b = appendViewID(b, view)
+	return appendIDs(b, members)
 }
 
 func encodePropose(m *msgPropose) []byte {
@@ -319,7 +325,7 @@ func encodeSyncInfo(m *msgSyncInfo) []byte {
 	b = appendViewID(b, m.oldView)
 	b = appendIDs(b, m.oldMembers)
 	b = wire.AppendU64(b, m.sendSeq)
-	return appendVec(b, m.recvNext)
+	return appendVec(b, m.recvNext, nil)
 }
 
 func encodeCut(m *msgCut) []byte {
@@ -327,7 +333,7 @@ func encodeCut(m *msgCut) []byte {
 	b = wire.AppendU8(b, kindCut)
 	b = wire.AppendString(b, m.group)
 	b = appendPID(b, m.pid)
-	return appendVec(b, m.targets)
+	return appendVec(b, m.targets, nil)
 }
 
 func encodeCutDone(m *msgCutDone) []byte {
@@ -358,70 +364,4 @@ func encodeAgreedReq(m *msgAgreedReq) []byte {
 	b = wire.AppendString(b, m.group)
 	b = wire.AppendU64(b, m.seq)
 	return wire.AppendBytes(b, m.payload)
-}
-
-// decodeMessage parses any GCS datagram. It returns an error for malformed
-// input; callers drop such datagrams silently.
-func decodeMessage(buf []byte) (any, error) {
-	r := wire.NewReader(buf)
-	kind := r.U8()
-	if r.Err() != nil {
-		return nil, r.Err()
-	}
-	var m any
-	switch kind {
-	case kindHeartbeat:
-		m = &msgHeartbeat{}
-	case kindDirect:
-		m = &msgDirect{payload: r.Bytes()}
-	case kindAnycast:
-		m = &msgAnycast{group: r.String(), payload: r.Bytes()}
-	case kindMcast:
-		m = &msgMcast{
-			group:   r.String(),
-			view:    readViewID(r),
-			sender:  ProcessID(r.String()),
-			seq:     r.U64(),
-			payload: r.Bytes(),
-		}
-	case kindNak:
-		m = &msgNak{
-			group:  r.String(),
-			view:   readViewID(r),
-			sender: ProcessID(r.String()),
-			from:   r.U64(),
-			to:     r.U64(),
-		}
-	case kindAckVec:
-		m = &msgAckVec{group: r.String(), view: readViewID(r), vec: readVec(r), contig: readVec(r)}
-	case kindPresence:
-		m = &msgPresence{group: r.String(), view: readViewID(r), members: readIDs(r)}
-	case kindPropose:
-		m = &msgPropose{group: r.String(), pid: readPID(r), candidates: readIDs(r)}
-	case kindSyncInfo:
-		m = &msgSyncInfo{
-			group:      r.String(),
-			pid:        readPID(r),
-			oldView:    readViewID(r),
-			oldMembers: readIDs(r),
-			sendSeq:    r.U64(),
-			recvNext:   readVec(r),
-		}
-	case kindCut:
-		m = &msgCut{group: r.String(), pid: readPID(r), targets: readVec(r)}
-	case kindCutDone:
-		m = &msgCutDone{group: r.String(), pid: readPID(r)}
-	case kindInstall:
-		m = &msgInstall{group: r.String(), pid: readPID(r), view: readViewID(r), members: readIDs(r)}
-	case kindLeave:
-		m = &msgLeave{group: r.String()}
-	case kindAgreedReq:
-		m = &msgAgreedReq{group: r.String(), seq: r.U64(), payload: r.Bytes()}
-	default:
-		return nil, fmt.Errorf("gcs: unknown message kind %d", kind)
-	}
-	if err := r.Done(); err != nil {
-		return nil, err
-	}
-	return m, nil
 }

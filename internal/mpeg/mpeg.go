@@ -157,8 +157,17 @@ func (m *Movie) Frame(i int) FrameInfo {
 // byte pattern of the frame's exact size, carrying the frame index in its
 // first bytes so tests can verify end-to-end integrity.
 func (m *Movie) FrameData(i int) []byte {
+	return m.AppendFrameData(nil, i)
+}
+
+// AppendFrameData appends frame i's synthetic payload to b and returns the
+// extended slice, so streaming senders can reuse one scratch buffer instead
+// of materializing a fresh payload per frame.
+func (m *Movie) AppendFrameData(b []byte, i int) []byte {
 	info := m.frames[i]
-	data := make([]byte, info.Size)
+	start := len(b)
+	b = append(b, make([]byte, info.Size)...)
+	data := b[start:]
 	data[0] = byte(info.Class)
 	if info.Size >= 5 {
 		data[1] = byte(i >> 24)
@@ -169,7 +178,7 @@ func (m *Movie) FrameData(i int) []byte {
 	for j := 5; j < len(data); j++ {
 		data[j] = byte(i + j)
 	}
-	return data
+	return b
 }
 
 // PrevIFrame returns the largest I-frame index ≤ i. Random access lands on

@@ -1,0 +1,48 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/transport"
+)
+
+// TestAllocsSteadyStateDelivery pins the per-packet allocation count of the
+// simulated network once its pools are warm: the delivery event, its payload
+// buffer, and the clock's timer record are all recycled, so pushing one more
+// packet through an idle link must not allocate.
+func TestAllocsSteadyStateDelivery(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	net := New(clk, 1, Profile{Delay: time.Millisecond})
+	a, err := net.NewEndpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.NewEndpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	b.SetHandler(func(from transport.Addr, payload []byte) { got++ })
+
+	payload := make([]byte, 1200)
+	for i := 0; i < 64; i++ { // warm the delivery and buffer pools
+		if err := a.Send("b", payload); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(2 * time.Millisecond)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := a.Send("b", payload); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(2 * time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm send/deliver cycle = %v allocs/op, want 0", allocs)
+	}
+	if got == 0 {
+		t.Fatal("handler never ran")
+	}
+}

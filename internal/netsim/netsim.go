@@ -82,7 +82,9 @@ type Network struct {
 	links     map[pair]*linkState
 	egress    map[transport.Addr]int64 // shared NIC rate, bytes/s (0 = none)
 	egressQ   map[transport.Addr]*linkState
-	extraLoss float64 // network-wide additional drop probability (loss burst)
+	extraLoss float64   // network-wide additional drop probability (loss burst)
+	freeD     *delivery // free list of delivery events (packet buffer pool)
+	sweepIn   int       // sends until the next stale-link sweep
 	stats     Stats
 
 	obs      *obs.Registry
@@ -316,20 +318,89 @@ func (n *Network) send(from, to transport.Addr, payload []byte) error {
 		return nil
 	}
 
-	// The sender may reuse its buffer after Send returns, as with UDP
-	// (the kernel copies); take our own copy before scheduling delivery.
-	data := make([]byte, len(payload))
-	copy(data, payload)
-
 	deliveries := 1
 	if prof.Duplicate > 0 && n.rng.Float64() < prof.Duplicate {
 		deliveries = 2
 	}
 	for i := 0; i < deliveries; i++ {
-		delay := n.transitTimeLocked(from, to, prof, len(data))
-		n.clk.AfterFunc(delay, func() { n.deliver(from, to, data) })
+		// The sender may reuse its buffer after Send returns, as with UDP
+		// (the kernel copies); copy into a pooled delivery event before
+		// scheduling. Each duplicate gets its own buffer so the handlers
+		// never share backing storage.
+		d := n.newDeliveryLocked(from, to, payload)
+		delay := n.transitTimeLocked(from, to, prof, len(payload))
+		clock.Schedule(n.clk, delay, d.fn)
 	}
+	n.maybeSweepLocked()
 	return nil
+}
+
+// delivery is one in-flight packet: a pooled buffer plus the routing info
+// its timer callback needs. Events cycle through a free list under n.mu so
+// steady-state traffic schedules deliveries without allocating; the buffer
+// is reused for the next packet as soon as the receiving handler returns,
+// which is what the transport.Handler copy-on-retain rule licenses.
+type delivery struct {
+	n        *Network
+	from, to transport.Addr
+	data     []byte
+	fn       func()    // d.run, bound once: a method value allocates per use
+	next     *delivery // free-list link
+}
+
+// newDeliveryLocked takes a delivery off the free list (or allocates one)
+// and loads it with a copy of payload. Caller holds n.mu.
+func (n *Network) newDeliveryLocked(from, to transport.Addr, payload []byte) *delivery {
+	d := n.freeD
+	if d != nil {
+		n.freeD = d.next
+		d.next = nil
+	} else {
+		d = &delivery{n: n}
+		d.fn = d.run
+	}
+	d.from, d.to = from, to
+	d.data = append(d.data[:0], payload...)
+	return d
+}
+
+// recycleLocked returns a delivery (and its buffer) to the pool. Caller
+// holds n.mu; the delivery's timer must have fired already.
+func (d *delivery) recycleLocked() {
+	n := d.n
+	d.from, d.to = "", ""
+	d.next = n.freeD
+	n.freeD = d
+}
+
+// run fires when the packet arrives: hand the payload to the destination
+// handler (outside the lock, since handlers send packets of their own), then
+// recycle the event.
+func (d *delivery) run() {
+	n := d.n
+	n.mu.Lock()
+	ep := n.nodes[d.to]
+	var h transport.Handler
+	if ep != nil && !ep.closed {
+		h = ep.handler
+	}
+	if h == nil {
+		n.stats.Dropped++
+		n.ctrDrop.Inc()
+		d.recycleLocked()
+		n.mu.Unlock()
+		return
+	}
+	n.stats.Delivered++
+	n.stats.Bytes += uint64(len(d.data))
+	n.ctrDeliv.Inc()
+	n.ctrBytes.Add(uint64(len(d.data)))
+	from, data := d.from, d.data
+	n.mu.Unlock()
+	h(from, data)
+	n.mu.Lock()
+	d.recycleLocked()
+	n.mu.Unlock()
 }
 
 // transitTimeLocked computes the packet's total time in the network,
@@ -373,25 +444,33 @@ func (n *Network) transitTimeLocked(from, to transport.Addr, prof Profile, size 
 	return delay
 }
 
-func (n *Network) deliver(from, to transport.Addr, data []byte) {
-	n.mu.Lock()
-	ep := n.nodes[to]
-	var h transport.Handler
-	if ep != nil && !ep.closed {
-		h = ep.handler
-	}
-	if h == nil {
-		n.stats.Dropped++
-		n.ctrDrop.Inc()
-		n.mu.Unlock()
+// sweepPeriod is how many sends pass between stale-link sweeps. Sweeping is
+// amortized rather than per-send because a sweep walks every tracked link.
+const sweepPeriod = 4096
+
+// maybeSweepLocked occasionally prunes link and egress-queue entries whose
+// serialization queue has already drained (nextFree in the past): an idle
+// entry behaves identically to an absent one, so dropping it is invisible to
+// the simulation, and long capacity sweeps across many node pairs no longer
+// accumulate dead link state forever. Deletion is order-independent and
+// consumes no randomness, so replays are unaffected. Caller holds n.mu.
+func (n *Network) maybeSweepLocked() {
+	n.sweepIn--
+	if n.sweepIn > 0 {
 		return
 	}
-	n.stats.Delivered++
-	n.stats.Bytes += uint64(len(data))
-	n.ctrDeliv.Inc()
-	n.ctrBytes.Add(uint64(len(data)))
-	n.mu.Unlock()
-	h(from, data)
+	n.sweepIn = sweepPeriod
+	now := n.clk.Now()
+	for key, ls := range n.links {
+		if !ls.nextFree.After(now) {
+			delete(n.links, key)
+		}
+	}
+	for addr, eq := range n.egressQ {
+		if !eq.nextFree.After(now) {
+			delete(n.egressQ, addr)
+		}
+	}
 }
 
 type endpoint struct {
@@ -445,7 +524,9 @@ func (n *Network) EgressBacklog(addr transport.Addr) time.Duration {
 		return 0
 	}
 	d := eq.nextFree.Sub(n.clk.Now())
-	if d < 0 {
+	if d <= 0 {
+		// Queue already drained: equivalent to no entry, so prune it.
+		delete(n.egressQ, addr)
 		return 0
 	}
 	return d

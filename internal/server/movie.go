@@ -276,7 +276,12 @@ func (ms *movieState) redistributeLocked() {
 	order := memberOrder(ms.view.Members, ms.newcomers)
 	assignment := Assign(clientIDs, order)
 
-	for id, owner := range assignment {
+	// Apply in client-ID order, not assignment-map order: takeovers start
+	// sessions (timers, packets) whose relative order must be a pure
+	// function of the inputs for seed-reproducible runs.
+	sort.Strings(clientIDs)
+	for _, id := range clientIDs {
+		owner := assignment[id]
 		sess := s.sessions[id]
 		mine := sess != nil && !sess.closed && sess.movie.ID() == ms.movie.ID()
 		switch {
@@ -353,6 +358,9 @@ func (s *Server) SyncNow() {
 		states = append(states, ms)
 	}
 	s.mu.Unlock()
+	// Sync in movie-ID order, not map order, so the multicasts hit the
+	// simulated network in a seed-deterministic sequence.
+	sort.Slice(states, func(i, j int) bool { return states[i].movie.ID() < states[j].movie.ID() })
 	for _, ms := range states {
 		ms.syncTick()
 	}

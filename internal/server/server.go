@@ -17,6 +17,7 @@ package server
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -312,8 +313,17 @@ func (s *Server) Stop() {
 		return
 	}
 	s.closed = true
-	for _, sess := range s.sessions {
-		sess.stopLocked()
+	// Stop in client-ID order: stopLocked releases pooled timers, and the
+	// virtual clock's free list hands them back out in release order, so
+	// map order here would leak into later timer identity (and event
+	// ordering) in otherwise seed-deterministic simulations.
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s.sessions[id].stopLocked()
 	}
 	s.sessions = make(map[string]*session)
 	for _, ms := range s.movies {

@@ -36,8 +36,16 @@ type session struct {
 	conflicts map[gcs.ProcessID]bool
 
 	sendTimer clock.Timer
+	sendOneFn func() // sess.sendOne, bound once: a method value allocates per use
 	decayTask *clock.Periodic
 	joinTries int
+
+	// Per-session reusable state for the frame hot path: with these warm,
+	// transmitting a frame performs zero heap allocations. frame and the
+	// buffers are only touched under srv.mu.
+	frame      wire.Frame   // reused message header for every outgoing frame
+	payloadBuf []byte       // scratch for the synthetic frame payload
+	enc        wire.Encoder // scratch for the encoded datagram
 }
 
 // startSessionLocked creates the session and begins joining the client's
@@ -53,6 +61,7 @@ func (s *Server) startSessionLocked(rec wire.ClientRecord, movie *mpeg.Movie, ta
 		movie: movie,
 		rate:  rate,
 	}
+	sess.sendOneFn = sess.sendOne
 	if takeover {
 		// Resuming at a stale offset past the end means the movie ended.
 		if int(rec.Offset) >= movie.TotalFrames() {
@@ -139,7 +148,12 @@ func (sess *session) schedulePacingLocked() {
 		rate = 1
 	}
 	sess.pacing = true
-	sess.sendTimer = sess.srv.cfg.Clock.AfterFunc(time.Second/time.Duration(rate), sess.sendOne)
+	if sess.sendTimer != nil {
+		// The previous pacing timer has fired (pacing was false); recycle
+		// its record so a streaming session reuses one event forever.
+		clock.Release(sess.sendTimer)
+	}
+	sess.sendTimer = sess.srv.cfg.Clock.AfterFunc(time.Second/time.Duration(rate), sess.sendOneFn)
 }
 
 // sendOne handles one pacing tick: the stream position advances by exactly
@@ -186,22 +200,28 @@ func (sess *session) sendOne() {
 		s.mu.Unlock()
 		return
 	}
-	frame := &wire.Frame{
+	// Build the frame in per-session reusable buffers: header struct,
+	// payload scratch and encoder scratch all survive across frames, so a
+	// warm session allocates nothing here. The encoded packet is handed to
+	// Send while still holding s.mu — Send copies before returning (the
+	// transport contract), and no transport path re-enters the server
+	// synchronously, so the scratch is free again afterwards.
+	sess.payloadBuf = sess.movie.AppendFrameData(sess.payloadBuf[:0], idx)
+	sess.frame = wire.Frame{
 		Movie:   sess.movie.ID(),
 		Index:   uint32(idx),
 		Class:   info.Class,
-		Payload: sess.movie.FrameData(idx),
+		Payload: sess.payloadBuf,
 	}
-	pkt := wire.Encode(frame)
+	pkt := sess.enc.Encode(&sess.frame)
 	dst := transport.Addr(sess.rec.ClientAddr)
 	s.stats.FramesSent++
 	s.stats.VideoBytes += uint64(len(pkt))
 	s.ctr.framesSent.Inc()
 	s.ctr.videoBytes.Add(uint64(len(pkt)))
 	sess.schedulePacingLocked()
-	s.mu.Unlock()
-
 	_ = s.vid.Send(dst, pkt)
+	s.mu.Unlock()
 }
 
 // stopLocked halts the session permanently. Caller holds srv.mu.
@@ -211,7 +231,8 @@ func (sess *session) stopLocked() {
 	}
 	sess.closed = true
 	if sess.sendTimer != nil {
-		sess.sendTimer.Stop()
+		clock.Release(sess.sendTimer)
+		sess.sendTimer = nil
 	}
 	if sess.decayTask != nil {
 		sess.decayTask.Stop()

@@ -80,8 +80,11 @@ type Runtime struct {
 
 	scenario *Scenario
 	servers  map[string]*server.Server
-	client   *client.Client
-	started  time.Time
+	// serverOrder lists every ID ever started, sorted — the deterministic
+	// iteration order for the servers map (see ServingServer).
+	serverOrder []string
+	client      *client.Client
+	started     time.Time
 
 	// retired accumulates the final stats of crashed servers so totals
 	// (video bytes, sync bytes) survive the crash.
@@ -127,6 +130,9 @@ type Result struct {
 	// VideoBytesCum samples total video bytes sent by all servers, for
 	// bandwidth/overhead accounting.
 	VideoBytesCum *metrics.Series
+
+	// Duration is the resolved simulated time the run covered.
+	Duration time.Duration
 
 	Final        buffer.Counters
 	ClientJitter time.Duration // smoothed inter-arrival jitter at scenario end
@@ -191,6 +197,15 @@ func (rt *Runtime) startServer(id string, cat *store.Catalog, fetchMovies []stri
 		return fmt.Errorf("sim: starting server %s: %w", id, err)
 	}
 	rt.servers[id] = s
+	// serverOrder is the sorted iteration order for the live-server map;
+	// entries persist across crash/restart (lookups skip dead IDs) so the
+	// 10 Hz sampler never rebuilds or re-sorts it.
+	i := sort.SearchStrings(rt.serverOrder, id)
+	if i == len(rt.serverOrder) || rt.serverOrder[i] != id {
+		rt.serverOrder = append(rt.serverOrder, "")
+		copy(rt.serverOrder[i+1:], rt.serverOrder[i:])
+		rt.serverOrder[i] = id
+	}
 	return nil
 }
 
@@ -274,7 +289,14 @@ func addStats(a, b server.Stats) server.Stats {
 // ServingServer returns the server currently holding the client's session
 // ("" if none).
 func (rt *Runtime) ServingServer() string {
-	for id, s := range rt.servers {
+	// Scan in sorted ID order: during a handoff two servers can briefly
+	// both claim the session, and the sampled figure series must not
+	// depend on map iteration order.
+	for _, id := range rt.serverOrder {
+		s := rt.servers[id]
+		if s == nil {
+			continue
+		}
 		for _, c := range s.ActiveSessions() {
 			if c == rt.scenario.ClientID {
 				return id
@@ -345,6 +367,7 @@ func Run(sc Scenario) *Result {
 
 	res := &Result{
 		Name:          sc.Name,
+		Duration:      sc.Duration,
 		SkippedCum:    metrics.NewSeries("skipped frames (cumulative)"),
 		LateCum:       metrics.NewSeries("late frames (cumulative)"),
 		OverflowCum:   metrics.NewSeries("frames discarded due to overflow (cumulative)"),
@@ -387,14 +410,15 @@ func Run(sc Scenario) *Result {
 		}
 	}
 
-	// Metric sampling.
+	// Metric sampling. The sorted peer list is fixed for the whole run, so
+	// build it once rather than per sample.
+	sortedPeers := append([]string(nil), sc.Peers...)
+	sort.Strings(sortedPeers)
 	serverIndex := func(id string) float64 {
 		if id == "" {
 			return -1
 		}
-		names := append([]string(nil), sc.Peers...)
-		sort.Strings(names)
-		for i, n := range names {
+		for i, n := range sortedPeers {
 			if n == id {
 				return float64(i)
 			}
@@ -431,9 +455,14 @@ func Run(sc Scenario) *Result {
 		res.ClientJitter = rt.client.Jitter()
 		rt.client.Close()
 	}
-	for id, s := range rt.servers {
-		res.ServerStats[id] = s.Stats()
-		s.Stop()
+	stopIDs := make([]string, 0, len(rt.servers))
+	for id := range rt.servers {
+		stopIDs = append(stopIDs, id)
+	}
+	sort.Strings(stopIDs)
+	for _, id := range stopIDs {
+		res.ServerStats[id] = rt.servers[id].Stats()
+		rt.servers[id].Stop()
 	}
 	// A restarted server has both a live snapshot and retired history from
 	// earlier incarnations; report the lifetime totals.

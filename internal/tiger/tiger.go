@@ -146,6 +146,13 @@ type cub struct {
 	lastHeard map[string]time.Time
 	streams   map[transport.Addr]*stream
 	hbTask    *clock.Periodic
+
+	// Reusable frame-transmission scratch, guarded by mu: the encoded
+	// packet is handed to Send before the lock is released and Send does
+	// not retain it, so one warm buffer set serves every stream.
+	frame      wire.Frame
+	payloadBuf []byte
+	enc        wire.Encoder
 }
 
 type stream struct {
@@ -186,20 +193,21 @@ func (c *cub) slot(clientAddr transport.Addr, st *stream) {
 		return
 	}
 	responsible := c.responsibleLocked(int(frame))
-	mine := responsible == c.index
-	c.mu.Unlock()
-
-	if !mine {
+	if responsible != c.index {
+		c.mu.Unlock()
 		return
 	}
 	info := movie.Frame(int(frame))
-	pkt := wire.Encode(&wire.Frame{
+	c.payloadBuf = movie.AppendFrameData(c.payloadBuf[:0], int(frame))
+	c.frame = wire.Frame{
 		Movie:   movie.ID(),
 		Index:   frame,
 		Class:   info.Class,
-		Payload: movie.FrameData(int(frame)),
-	})
+		Payload: c.payloadBuf,
+	}
+	pkt := c.enc.Encode(&c.frame)
 	_ = c.ep.Send(clientAddr, pkt)
+	c.mu.Unlock()
 }
 
 // responsibleLocked returns the index of the first cub in the frame's

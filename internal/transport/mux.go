@@ -88,6 +88,9 @@ type muxChannel struct {
 
 	mu      sync.RWMutex
 	handler Handler
+
+	sendMu  sync.Mutex
+	scratch []byte // reusable framing buffer, guarded by sendMu
 }
 
 var _ Endpoint = (*muxChannel)(nil)
@@ -98,9 +101,14 @@ func (c *muxChannel) Send(to Addr, payload []byte) error {
 	if len(payload) > MaxDatagram-1 {
 		return fmt.Errorf("channel %d to %s: %w", c.id, to, ErrTooLarge)
 	}
-	framed := make([]byte, 0, len(payload)+1)
-	framed = append(framed, byte(c.id))
+	// Frame into a per-channel scratch buffer instead of a fresh slice:
+	// Endpoint.Send does not retain the payload after returning, so the
+	// buffer is free for reuse as soon as the nested Send completes.
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	framed := append(c.scratch[:0], byte(c.id))
 	framed = append(framed, payload...)
+	c.scratch = framed[:0]
 	return c.mux.ep.Send(to, framed)
 }
 

@@ -16,9 +16,12 @@ import "errors"
 // node name ("server-1"); for UDP it is a host:port string.
 type Addr string
 
-// Handler receives an inbound datagram. Implementations of Endpoint
-// guarantee the payload is not retained or mutated after the handler
-// returns, so handlers that keep the data must copy it.
+// Handler receives an inbound datagram. The payload is only valid for the
+// duration of the call: implementations may hand the same buffer to the next
+// delivery (the simulated network recycles packet buffers through a pool),
+// so handlers that retain any part of the payload must copy it before
+// returning. Symmetrically, Send does not retain the payload after it
+// returns; senders may immediately reuse their buffer.
 type Handler func(from Addr, payload []byte)
 
 // Endpoint is an unreliable, unordered datagram endpoint: messages may be

@@ -1,0 +1,55 @@
+package wire
+
+import "testing"
+
+// These tests pin the allocation behavior of the frame hot path: a server
+// session encodes ~30 frames per client per second and a client decodes the
+// same stream, so a single allocation per frame dominates the whole
+// simulator's heap profile. The benchmarks in the repo root measure the
+// aggregate; these pins catch the exact regression point.
+
+func TestAllocsFrameEncode(t *testing.T) {
+	payload := make([]byte, 1500)
+	f := &Frame{Movie: "feature", Index: 0, Class: FrameI, Payload: payload}
+	var enc Encoder
+	enc.Encode(f) // warm the scratch buffer
+	allocs := testing.AllocsPerRun(1000, func() {
+		f.Index++
+		enc.Encode(f)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Encoder.Encode(Frame) = %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestAllocsFrameAppendMessage(t *testing.T) {
+	payload := make([]byte, 1500)
+	f := &Frame{Movie: "feature", Index: 0, Class: FrameI, Payload: payload}
+	buf := AppendMessage(nil, f) // size the buffer once
+	allocs := testing.AllocsPerRun(1000, func() {
+		f.Index++
+		buf = AppendMessage(buf[:0], f)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm AppendMessage(Frame) = %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestAllocsFrameDecode(t *testing.T) {
+	pkt := Encode(&Frame{Movie: "feature", Index: 7, Class: FrameI, Payload: make([]byte, 1500)})
+	var f Frame
+	if err := DecodeFrameInto(&f, pkt); err != nil { // warm: interns the movie name
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := DecodeFrameInto(&f, pkt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm DecodeFrameInto = %v allocs/op, want 0", allocs)
+	}
+	if f.Movie != "feature" || f.Index != 7 || len(f.Payload) != 1500 {
+		t.Fatalf("decode corrupted the frame: %+v", f)
+	}
+}

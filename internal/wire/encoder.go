@@ -1,0 +1,71 @@
+package wire
+
+import "fmt"
+
+// AppendMessage frames m — kind byte, then body — onto b and returns the
+// extended slice. It is the allocation-free core of Encode: callers that
+// bring their own buffer (an Encoder scratch, a pooled packet) pay nothing
+// per message.
+func AppendMessage(b []byte, m Message) []byte {
+	b = AppendU8(b, uint8(m.Kind()))
+	return m.appendBody(b)
+}
+
+// Encoder frames messages into a reusable scratch buffer. After the first
+// few messages warm the buffer, Encode performs zero allocations. The zero
+// value is ready to use.
+//
+// An Encoder is not safe for concurrent use, and each Encode invalidates the
+// slice returned by the previous one: callers that retain an encoded message
+// past the next Encode (deferred sends, queued packets) must copy it or use
+// the package-level Encode instead.
+type Encoder struct {
+	buf []byte
+}
+
+// Encode frames m into the scratch buffer and returns it. The returned
+// slice is only valid until the next call on this Encoder.
+func (e *Encoder) Encode(m Message) []byte {
+	e.buf = AppendMessage(e.buf[:0], m)
+	return e.buf
+}
+
+// DecodeFrameInto parses a framed KindFrame message into *f without
+// allocating in steady state: f.Payload aliases b (same contract as Decode),
+// and f.Movie is kept as-is when the bytes on the wire match it, so a
+// receiver decoding a stream of frames for one movie reuses the same string
+// for the whole session. Any previous Payload value is overwritten.
+func DecodeFrameInto(f *Frame, b []byte) error {
+	r := Reader{b: b}
+	if k := Kind(r.U8()); r.err == nil && k != KindFrame {
+		return fmt.Errorf("wire: decoding Frame: unexpected kind %v", k)
+	}
+	movie := r.StringBytes()
+	// string(movie) == f.Movie compiles to an allocation-free comparison;
+	// the conversion below only runs (and allocates) when the movie changes.
+	if string(movie) != f.Movie {
+		f.Movie = string(movie)
+	}
+	f.Index = r.U32()
+	f.Class = FrameClass(r.U8())
+	f.Payload = r.Bytes()
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("wire: decoding Frame: %w", err)
+	}
+	return nil
+}
+
+// StringBytes consumes a 16-bit length prefix and returns the raw string
+// bytes, aliasing the underlying buffer. It is the no-copy twin of String
+// for decoders that compare (or intern) before converting.
+func (r *Reader) StringBytes() []byte {
+	n := r.U16()
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < int(n) {
+		r.err = ErrTruncated
+		return nil
+	}
+	return r.take(int(n))
+}
