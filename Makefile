@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-short race bench bench-json bench-smoke chaos figures tables examples vet
+.PHONY: test test-short race bench bench-json bench-smoke chaos sweep figures tables examples vet
 
 test:        ## full test suite (includes ~20s of real-clock tests)
 	go test ./...
@@ -14,15 +14,19 @@ race:        ## race detector over the whole module
 bench:       ## one benchmark per paper figure/table + micro benches
 	go test -bench=. -benchmem ./...
 
-bench-json:  ## hot-path benchmarks, recorded for regression comparison
-	go test -run='^$$' -bench=. -benchmem -json . > BENCH_hotpath.json
+bench-json:  ## hot-path + sweep benchmarks, recorded for regression comparison
+	go test -run='^$$' -bench='^Benchmark(Sim|Fig|Table|Ablation)' -benchmem -json . > BENCH_hotpath.json
+	go test -run='^$$' -bench=SweepSpeedup -benchtime=2x -benchmem -json . > BENCH_sweep.json
 
 bench-smoke: ## one cheap iteration of the throughput benchmark (CI)
 	go test -run='^$$' -bench=SimThroughput -benchtime=1x .
 
 chaos:       ## seeded fault schedules + invariant checks, race-clean
-	go test -race -short -run 'Chaos|Monkey' ./...
+	go test -race -short -run 'Chaos|Monkey|Sweep' ./...
 	go run ./cmd/vodbench -chaos -runs 50
+
+sweep:       ## 120-seed chaos sweep across all cores (wall-time budgeted)
+	timeout 300 go run ./cmd/vodbench -chaos -runs 120
 
 figures:     ## regenerate every evaluation figure as TSV
 	go run ./cmd/vodbench -fig all

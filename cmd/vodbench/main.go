@@ -11,6 +11,14 @@
 //	vodbench -seed 7          # change the simulation seed
 //	vodbench -chaos -runs 50  # run 50 seeded fault schedules, report invariants
 //	vodbench -chaos -seed 53  # replay one schedule (e.g. a CI failure) exactly
+//	vodbench -parallel 4      # bound the sweep worker pool (default: all cores)
+//
+// Independent simulation runs — chaos seeds, table trials, the figure
+// scenarios — fan out across all cores by default (internal/sweep).
+// Parallelism is strictly across runs, never inside one, so every figure,
+// table and chaos report is byte-identical at any -parallel setting; a
+// failing chaos sweep ends with a sorted "failed seeds" list, each
+// replayable exactly with -chaos -seed N.
 //
 // Figures: 4a skipped frames (LAN) · 4b late frames (LAN) · 4c software
 // buffer occupancy (LAN) · 4d hardware buffer occupancy (LAN) · 5a skipped
@@ -22,8 +30,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -32,6 +42,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -41,7 +52,11 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) error { return runTo(os.Stdout, args) }
+
+// runTo executes the CLI against an arbitrary writer; the output-
+// equivalence tests capture it to prove -parallel never changes a byte.
+func runTo(out io.Writer, args []string) error {
 	fs := flag.NewFlagSet("vodbench", flag.ContinueOnError)
 	fig := fs.String("fig", "", "figure to regenerate (4a 4b 4c 4d 5a 5b, or all)")
 	table := fs.String("table", "", "table to regenerate (see package doc, or all)")
@@ -50,22 +65,28 @@ func run(args []string) error {
 	stats := fs.Bool("stats", false, "dump per-node observability counters for the LAN and WAN scenarios, then exit")
 	chaosRun := fs.Bool("chaos", false, "execute seeded chaos schedules and check service invariants")
 	runs := fs.Int("runs", 1, "with -chaos: number of consecutive seeds to run, starting at -seed")
+	parallel := fs.Int("parallel", 0, "worker pool for independent simulation runs — chaos seeds, table trials, figure scenarios (0 = all cores, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sim.SetParallelism(*parallel)
 
-	out := os.Stdout
 	if *chaosRun {
-		failed := 0
-		for s := *seed; s < *seed+int64(*runs); s++ {
-			rep := chaos.Run(s)
-			rep.Write(out)
-			if !rep.OK() {
-				failed++
-			}
+		// Seeds fan out across the worker pool; reports stream in seed
+		// order as a contiguous prefix finishes, so the output is
+		// byte-identical to a sequential sweep.
+		reports, sum, err := chaos.Sweep(context.Background(), *seed, *runs, *parallel, nil,
+			func(rep *chaos.Report) { rep.Write(out) })
+		if err != nil {
+			return fmt.Errorf("chaos sweep: %w", err)
 		}
-		if failed > 0 {
-			return fmt.Errorf("%d of %d chaos schedules violated invariants", failed, *runs)
+		if *runs > 1 {
+			fmt.Fprintf(out, "sweep: %s\n", sum)
+		}
+		if failed := chaos.FailedSeeds(reports); len(failed) > 0 {
+			fmt.Fprintf(out, "failed seeds: %v\n", failed)
+			return fmt.Errorf("%d of %d chaos schedules violated invariants (failed seeds %v)",
+				len(failed), *runs, failed)
 		}
 		return nil
 	}
@@ -75,8 +96,15 @@ func run(args []string) error {
 		return nil
 	}
 	if *stats {
-		for _, sc := range []sim.Scenario{sim.LANScenario(*seed), sim.WANScenario(*seed)} {
-			res := sim.Run(sc)
+		// The LAN and WAN scenarios are independent runs: execute them in
+		// parallel, print in the fixed order.
+		scs := []sim.Scenario{sim.LANScenario(*seed), sim.WANScenario(*seed)}
+		results, err := sweep.Run(context.Background(), len(scs), *parallel,
+			func(i int, _ int64) (*sim.Result, error) { return sim.Run(scs[i]), nil })
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
 			fmt.Fprintf(out, "== %s: observability counters ==\n", res.Name)
 			nodes := make([]string, 0, len(res.Obs))
 			for id := range res.Obs {
@@ -140,11 +168,15 @@ func run(args []string) error {
 	}
 
 	if *table == "all" || all {
-		for _, id := range sim.TableIDs() {
-			t, err := sim.TableByID(id, *seed)
-			if err != nil {
-				return err
-			}
+		// Generate the tables in parallel (each table additionally fans its
+		// own trials), then print in the canonical order.
+		ids := sim.TableIDs()
+		tables, err := sweep.Run(context.Background(), len(ids), *parallel,
+			func(i int, _ int64) (sim.Table, error) { return sim.TableByID(ids[i], *seed) })
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
 			if err := t.Write(out); err != nil {
 				return err
 			}

@@ -2,7 +2,7 @@ package chaos_test
 
 import (
 	"bytes"
-	"fmt"
+	"context"
 	"reflect"
 	"testing"
 	"time"
@@ -12,25 +12,29 @@ import (
 
 // TestClusterMonkey is the full-stack chaos harness: dozens of seeded fault
 // schedules against a live cluster, each checked for the paper's
-// service-level invariants. A failing seed replays exactly with
-// `vodbench -chaos -seed N`.
+// service-level invariants. The seeds fan across all cores through the
+// sweep engine — the same path `vodbench -chaos` takes — and a failing
+// seed replays exactly with `vodbench -chaos -seed N`.
 func TestClusterMonkey(t *testing.T) {
 	n := 120
 	if testing.Short() {
 		n = 50
 	}
-	for seed := 1; seed <= n; seed++ {
-		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			t.Parallel()
-			rep := chaos.Run(int64(seed))
-			if !rep.OK() {
-				var buf bytes.Buffer
-				rep.Write(&buf)
-				t.Errorf("invariant violations:\n%s", buf.String())
-			}
-		})
+	reports, sum, err := chaos.Sweep(context.Background(), 1, n, 0, nil, nil)
+	if err != nil {
+		t.Fatalf("sweep error (panicked seed?): %v", err)
 	}
+	for _, rep := range reports {
+		if !rep.OK() {
+			var buf bytes.Buffer
+			rep.Write(&buf)
+			t.Errorf("invariant violations:\n%s", buf.String())
+		}
+	}
+	if failed := chaos.FailedSeeds(reports); len(failed) > 0 {
+		t.Errorf("failed seeds: %v", failed)
+	}
+	t.Logf("monkey sweep: %s", sum)
 }
 
 // TestPlanDeterministic: the same seed must always produce the same

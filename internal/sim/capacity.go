@@ -35,8 +35,13 @@ func TableCapacity(seed int64) Table {
 		n   int
 		max int // admission limit; 0 = none
 	}
-	for _, tc := range []cfg{{10, 0}, {40, 0}, {65, 0}, {85, 0}, {85, 65}} {
-		res := capacityTrial(seed, tc.n, tc.max)
+	cases := []cfg{{10, 0}, {40, 0}, {65, 0}, {85, 0}, {85, 65}}
+	// Each load point is an independent cluster; fan them across cores.
+	trials := fanOut(len(cases), func(i int) capacityResult {
+		return capacityTrial(seed, cases[i].n, cases[i].max)
+	})
+	for i, tc := range cases {
+		res := trials[i]
 		admitted := "all"
 		if tc.max > 0 {
 			admitted = strconv.Itoa(tc.max)

@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/sweep"
 	"repro/internal/transport"
 )
 
@@ -22,9 +24,15 @@ import (
 //   - the client never displays frames out of order (enforced inside the
 //     buffer pipeline, revalidated here via monotone display counts).
 func TestChaosRandomCrashSchedules(t *testing.T) {
-	for seed := int64(1); seed <= 8; seed++ {
-		seed := seed
-		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+	// The eight seeded scenarios are independent clusters: run them through
+	// the sweep engine across all cores (the CI race run covers this path),
+	// then assert per seed in order.
+	type outcome struct {
+		res                  *Result
+		crash1, crash2, join time.Duration
+	}
+	outcomes, err := sweep.Run(context.Background(), 8, 0,
+		func(i int, seed int64) (outcome, error) {
 			rng := rand.New(rand.NewSource(seed))
 			names := []string{"server-1", "server-2", "server-3", "server-4"}
 			initial := names[:3]
@@ -52,29 +60,35 @@ func TestChaosRandomCrashSchedules(t *testing.T) {
 				Peers:   names,
 				Events:  events,
 			})
-
-			if res.Final.OverflowDroppedI != 0 {
-				t.Errorf("discarded %d I frames", res.Final.OverflowDroppedI)
-			}
-			// Progress: the vast majority of the movie still displays
-			// despite two crashes.
-			if res.Final.Displayed < 2200 {
-				t.Errorf("displayed only %d of 2700 frames (crash1=%v crash2=%v join=%v)",
-					res.Final.Displayed, crash1, crash2, join)
-			}
-			// Exactly one serving server at the end of the run.
-			if last := res.ServingServer.Last(); last < 0 {
-				t.Errorf("no serving server at scenario end")
-			}
-			// Displayed counts are monotone (sampled cumulatively).
-			prev := 0.0
-			for _, v := range res.StallsCum.Values {
-				if v < prev {
-					t.Fatalf("cumulative stalls decreased: %v -> %v", prev, v)
-				}
-				prev = v
-			}
+			return outcome{res, crash1, crash2, join}, nil
 		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, oc := range outcomes {
+		seed, res := i+1, oc.res
+		if res.Final.OverflowDroppedI != 0 {
+			t.Errorf("seed %d: discarded %d I frames", seed, res.Final.OverflowDroppedI)
+		}
+		// Progress: the vast majority of the movie still displays
+		// despite two crashes.
+		if res.Final.Displayed < 2200 {
+			t.Errorf("seed %d: displayed only %d of 2700 frames (crash1=%v crash2=%v join=%v)",
+				seed, res.Final.Displayed, oc.crash1, oc.crash2, oc.join)
+		}
+		// Exactly one serving server at the end of the run.
+		if last := res.ServingServer.Last(); last < 0 {
+			t.Errorf("seed %d: no serving server at scenario end", seed)
+		}
+		// Displayed counts are monotone (sampled cumulatively).
+		prev := 0.0
+		for _, v := range res.StallsCum.Values {
+			if v < prev {
+				t.Fatalf("seed %d: cumulative stalls decreased: %v -> %v", seed, prev, v)
+			}
+			prev = v
+		}
 	}
 }
 

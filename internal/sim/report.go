@@ -67,10 +67,13 @@ func (t Table) Write(w io.Writer) error {
 func FigureIDs() []string { return []string{"4a", "4b", "4c", "4d", "5a", "5b"} }
 
 // Figures runs the two evaluation scenarios and returns every figure's
-// series keyed by figure ID, plus each figure's event annotations.
+// series keyed by figure ID, plus each figure's event annotations. The
+// LAN and WAN runs are independent, so they execute in parallel (see
+// SetParallelism); the series are identical either way.
 func Figures(seed int64) (map[string]*metrics.Series, map[string][]Annotation) {
-	lan := Run(LANScenario(seed))
-	wan := Run(WANScenario(seed))
+	scenarios := []Scenario{LANScenario(seed), WANScenario(seed)}
+	runs := fanOut(len(scenarios), func(i int) *Result { return Run(scenarios[i]) })
+	lan, wan := runs[0], runs[1]
 	series := map[string]*metrics.Series{
 		"4a": lan.SkippedCum,
 		"4b": lan.LateCum,
@@ -291,11 +294,12 @@ func TableTakeover(trials int) Table {
 		Title:  "crash takeover time on a LAN",
 		Header: []string{"trial", "takeover"},
 	}
+	// Every trial is its own cluster and seed; fan them across cores.
+	durs := fanOut(trials, func(i int) time.Duration { return TakeoverTrial(int64(i + 1)) })
 	var total time.Duration
-	for seed := int64(1); seed <= int64(trials); seed++ {
-		d := TakeoverTrial(seed)
+	for i, d := range durs {
 		total += d
-		t.Rows = append(t.Rows, []string{strconv.FormatInt(seed, 10), d.String()})
+		t.Rows = append(t.Rows, []string{strconv.Itoa(i + 1), d.String()})
 	}
 	avg := total / time.Duration(trials)
 	t.Rows = append(t.Rows, []string{"average", avg.String() + " (paper: ≈0.5s)"})
@@ -418,7 +422,9 @@ func TableBufferSweep(seed int64) Table {
 		Title:  "buffer-size sweep on the LAN crash scenario (§4.2)",
 		Header: []string{"buffer (s of video)", "capacity (frames)", "skipped", "late", "stalls"},
 	}
-	for _, scale := range []float64{0.25, 0.5, 1.0, 1.5, 2.0} {
+	scales := []float64{0.25, 0.5, 1.0, 1.5, 2.0}
+	t.Rows = fanOut(len(scales), func(i int) []string {
+		scale := scales[i]
 		buf := buffer.Config{
 			SoftwareCapacity:      int(37 * scale),
 			HardwareCapacityBytes: int(240 * 1024 * scale),
@@ -435,14 +441,14 @@ func TableBufferSweep(seed int64) Table {
 				{At: 30 * time.Second, Do: func(rt *Runtime) { rt.CrashServing() }},
 			},
 		})
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprintf("%.1f", 2.4*scale),
 			strconv.Itoa(flow.CombinedCapacity),
 			strconv.FormatUint(res.Final.Skipped(), 10),
 			strconv.FormatUint(res.Final.Late, 10),
 			strconv.FormatUint(res.Final.Stalls, 10),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -480,7 +486,9 @@ func TableEmergencySweep(seed int64) Table {
 		Header: []string{"base q", "total extra", "refill time after crash", "overflow discards", "stalls"},
 	}
 	crashAt := 30 * time.Second
-	for _, q := range []int{0, 6, 12, 24} {
+	qs := []int{0, 6, 12, 24}
+	t.Rows = fanOut(len(qs), func(i int) []string {
+		q := qs[i]
 		flow := flowctl.DefaultParams()
 		flow.EmergencyMajorQ = q
 		flow.EmergencyMinorQ = q / 2
@@ -514,14 +522,14 @@ func TableEmergencySweep(seed int64) Table {
 				break
 			}
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			strconv.Itoa(q),
 			strconv.Itoa(flowctl.EmergencyTotal(q, flow.EmergencyDecay)),
 			refill,
 			strconv.FormatUint(res.Final.OverflowDropped, 10),
 			strconv.FormatUint(res.Final.Stalls, 10),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -534,7 +542,9 @@ func TableSyncSweep(seed int64) Table {
 		Title:  "state-sync period sweep on the LAN crash scenario (§5.2)",
 		Header: []string{"sync period", "late frames (duplicates)", "skipped", "sync bytes"},
 	}
-	for _, period := range []time.Duration{100 * time.Millisecond, 500 * time.Millisecond, time.Second, 2 * time.Second} {
+	periods := []time.Duration{100 * time.Millisecond, 500 * time.Millisecond, time.Second, 2 * time.Second}
+	t.Rows = fanOut(len(periods), func(i int) []string {
+		period := periods[i]
 		res := Run(Scenario{
 			Name:         fmt.Sprintf("sync-%v", period),
 			Profile:      netsim.LAN(),
@@ -549,13 +559,13 @@ func TableSyncSweep(seed int64) Table {
 		for _, st := range res.ServerStats {
 			sync += st.SyncBytes
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			period.String(),
 			strconv.FormatUint(res.Final.Late, 10),
 			strconv.FormatUint(res.Final.Skipped(), 10),
 			strconv.FormatUint(sync, 10),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -573,25 +583,26 @@ func TableQoS(seed int64) Table {
 	reserved := netsim.WAN()
 	reserved.Loss = 0
 	reserved.Jitter = 2 * time.Millisecond
-	for _, tc := range []struct {
+	cases := []struct {
 		name string
 		prof netsim.Profile
 	}{
 		{"best effort (0.5% loss, 8ms jitter)", netsim.WAN()},
 		{"reserved channel (no loss, 2ms jitter)", reserved},
-	} {
+	}
+	t.Rows = fanOut(len(cases), func(i int) []string {
 		sc := WANScenario(seed)
-		sc.Profile = tc.prof
+		sc.Profile = cases[i].prof
 		res := Run(sc)
-		t.Rows = append(t.Rows, []string{
-			tc.name,
+		return []string{
+			cases[i].name,
 			strconv.FormatUint(res.Final.Skipped(), 10),
 			strconv.FormatUint(res.Final.Late, 10),
 			strconv.FormatUint(res.Final.Stalls, 10),
 			strconv.FormatUint(res.Final.MaxStallRun, 10),
 			res.ClientJitter.Truncate(100 * time.Microsecond).String(),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -636,7 +647,9 @@ func TableDiscard(seed int64) Table {
 		Title:  "overflow discard policy: I-frame preserving vs naive (§3)",
 		Header: []string{"policy", "overflow discards", "I frames among them"},
 	}
-	for _, naive := range []bool{false, true} {
+	policies := []bool{false, true}
+	t.Rows = fanOut(len(policies), func(i int) []string {
+		naive := policies[i]
 		// A half-size buffer puts real pressure on the overflow path, so
 		// the policy difference is visible.
 		buf := buffer.Config{
@@ -652,11 +665,11 @@ func TableDiscard(seed int64) Table {
 		if naive {
 			name = "naive (newest first)"
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			name,
 			strconv.FormatUint(res.Final.OverflowDropped, 10),
 			strconv.FormatUint(res.Final.OverflowDroppedI, 10),
-		})
-	}
+		}
+	})
 	return t
 }

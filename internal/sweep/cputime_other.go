@@ -1,0 +1,10 @@
+//go:build !unix
+
+package sweep
+
+import "time"
+
+// cpuTime is unavailable off unix; the summary falls back to summed
+// per-job elapsed time (an upper bound on CPU when workers oversubscribe
+// the cores).
+func cpuTime() (time.Duration, bool) { return 0, false }

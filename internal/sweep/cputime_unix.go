@@ -1,0 +1,21 @@
+//go:build unix
+
+package sweep
+
+import (
+	"syscall"
+	"time"
+)
+
+// cpuTime returns the process's cumulative user+system CPU time. The sweep
+// summary uses the delta across the run so Speedup reports CPU actually
+// consumed per wall second — oversubscribing workers beyond the cores
+// cannot inflate it (summed per-job elapsed time would, because a job's
+// elapsed time includes the time it sat descheduled).
+func cpuTime() (time.Duration, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	return time.Duration(ru.Utime.Nano()+ru.Stime.Nano()) * time.Nanosecond, true
+}
