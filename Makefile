@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-short race bench bench-json bench-smoke chaos sweep figures tables examples vet
+.PHONY: test test-short race bench bench-json bench-smoke bench-capacity chaos sweep figures tables examples vet
 
 test:        ## full test suite (includes ~20s of real-clock tests)
 	go test ./...
@@ -20,6 +20,15 @@ bench-json:  ## hot-path + sweep benchmarks, recorded for regression comparison
 
 bench-smoke: ## one cheap iteration of the throughput benchmark (CI)
 	go test -run='^$$' -bench=SimThroughput -benchtime=1x .
+
+bench-capacity: ## capacity-scale benchmark; fails if B/op exceeds the checked-in budget
+	@out=$$(go test -run='^$$' -bench='^BenchmarkAblationCapacity$$' -benchtime=1x -benchmem .) || { echo "$$out"; exit 1; }; \
+	echo "$$out"; \
+	bop=$$(echo "$$out" | awk '/^BenchmarkAblationCapacity/ { for (i = 2; i <= NF; i++) if ($$i == "B/op") print $$(i-1) }'); \
+	budget=$$(grep -v '^#' BENCH_capacity_budget); \
+	if [ -z "$$bop" ]; then echo "bench-capacity: could not parse B/op from benchmark output"; exit 1; fi; \
+	if [ "$$bop" -gt "$$budget" ]; then echo "bench-capacity: FAIL $$bop B/op exceeds budget $$budget"; exit 1; fi; \
+	echo "bench-capacity: OK $$bop B/op within budget $$budget"
 
 chaos:       ## seeded fault schedules + invariant checks, race-clean
 	go test -race -short -run 'Chaos|Monkey|Sweep' ./...

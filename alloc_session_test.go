@@ -1,0 +1,89 @@
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/mpeg"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// TestAllocsSessionSetup pins the allocation cost of one full session
+// establishment cycle — Open anycast, server-side session start, session
+// group join, a second of streaming, graceful stop — once the pools on both
+// sides are warm. The per-frame path is pinned at zero elsewhere; this pin
+// covers the per-session path the capacity experiments exercise a thousand
+// times per run: pooled server sessions, pooled open/reply events, the
+// reused client pipeline and policy. The budget is deliberately loose (the
+// cycle includes GCS view changes, whose coordination messages still
+// allocate) — it exists to catch order-of-magnitude regressions such as a
+// per-incarnation reallocation sneaking back in, not to enforce zero.
+func TestAllocsSessionSetup(t *testing.T) {
+	clk := clock.NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	net := netsim.New(clk, 1, netsim.LAN())
+
+	movie := mpeg.Generate("feature", mpeg.StreamConfig{Duration: 5 * time.Second, Seed: 1})
+	cat := store.NewCatalog()
+	cat.Add(movie)
+	srv, err := server.New(server.Config{
+		ID:      "server-1",
+		Clock:   clk,
+		Network: net,
+		Catalog: cat,
+		Peers:   []string{"server-1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(500 * time.Millisecond)
+
+	c, err := client.New(client.Config{
+		ID:      "viewer-1",
+		Clock:   clk,
+		Network: net,
+		Servers: []string{"server-1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	cycle := func() {
+		if err := c.Watch("feature"); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(1 * time.Second)
+		if st := c.State(); st != client.StateWatching {
+			t.Fatalf("after open: state %v, want watching", st)
+		}
+		if err := c.StopWatching(); err != nil {
+			t.Fatal(err)
+		}
+		// Let the server observe the stop, retire the session, and let
+		// GCS stability garbage-collect the cycle's retained messages so
+		// their buffers return to the pools.
+		clk.Advance(2 * time.Second)
+	}
+
+	for i := 0; i < 8; i++ { // warm every pool on both sides
+		cycle()
+	}
+	allocs := testing.AllocsPerRun(16, cycle)
+
+	// A warm cycle measures ≈260 allocs (mostly view-change coordination);
+	// the budget leaves ~2× headroom for toolchain drift while still
+	// catching any per-incarnation reallocation of session state.
+	const budget = 600
+	if allocs > budget {
+		t.Fatalf("session setup cycle = %v allocs, budget %d", allocs, budget)
+	}
+	t.Logf("session setup cycle = %v allocs (budget %d)", allocs, budget)
+}

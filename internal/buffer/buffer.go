@@ -120,7 +120,11 @@ func New(cfg Config) *Pipeline {
 	if cfg.SoftwareCapacity <= 0 || cfg.HardwareCapacityBytes <= 0 {
 		panic(fmt.Sprintf("buffer: invalid config %+v", cfg))
 	}
-	return &Pipeline{cfg: cfg}
+	// The software buffer is bounded by its capacity, so one allocation
+	// serves the pipeline's lifetime; consumption shifts in place rather
+	// than re-slicing, which would walk the slice off its backing array
+	// and force a fresh allocation on almost every insert.
+	return &Pipeline{cfg: cfg, sw: make([]FrameMeta, 0, cfg.SoftwareCapacity+1)}
 }
 
 // InsertResult reports what happened to an arriving frame.
@@ -202,7 +206,8 @@ func (p *Pipeline) streamLocked() {
 			p.c.GapSkipped += uint64(f.Index - p.next)
 		}
 		p.next = f.Index + 1
-		p.sw = p.sw[1:]
+		copy(p.sw, p.sw[1:])
+		p.sw = p.sw[:len(p.sw)-1]
 		p.hw = append(p.hw, f)
 		p.hwSize += f.Size
 	}
@@ -227,7 +232,8 @@ func (p *Pipeline) Tick() (f FrameMeta, ok bool) {
 		return FrameMeta{}, false
 	}
 	f = p.hw[0]
-	p.hw = p.hw[1:]
+	copy(p.hw, p.hw[1:])
+	p.hw = p.hw[:len(p.hw)-1]
 	p.hwSize -= f.Size
 	p.c.Displayed++
 	p.stallRun = 0
@@ -240,8 +246,8 @@ func (p *Pipeline) Tick() (f FrameMeta, ok bool) {
 func (p *Pipeline) Reset(start uint32) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.sw = nil
-	p.hw = nil
+	p.sw = p.sw[:0]
+	p.hw = p.hw[:0]
 	p.hwSize = 0
 	p.next = start
 }

@@ -204,6 +204,55 @@ type Client struct {
 	// warm client decodes a frame with zero allocations (the movie string is
 	// reused across the whole session).
 	frameIn wire.Frame
+
+	// fcOut/fcEnc build outbound flow-control requests without allocating.
+	// They are used only by onVideo, whose invocations are sequential (one
+	// transport dispatch goroutine); the encoded packet is fully copied by
+	// Multicast before the next frame can arrive.
+	fcOut wire.FlowControl
+	fcEnc wire.Encoder
+
+	// sendOpenFn is c.sendOpen bound once: the open-retry timer re-arms on
+	// every attempt and every refusal, and a fresh method-value closure per
+	// arm is pure garbage.
+	sendOpenFn func()
+
+	// orIn is the reusable OpenReply decode target, guarded by mu. A client
+	// waiting out a full cluster receives a stream of identical at-capacity
+	// refusals; decoding them into scratch costs nothing.
+	orIn wire.OpenReply
+}
+
+// dirEvent defers one direct (point-to-point) GCS payload onto the clock.
+// The payload must be copied out of the transport receive buffer before the
+// handler returns, and the deferral itself used to cost a fresh slice plus
+// two closures per reply; the pool reduces a warm cycle to a copy.
+type dirEvent struct {
+	c    *Client
+	from gcs.ProcessID
+	buf  []byte
+	fire func() // bound once to run
+}
+
+var dirEventPool sync.Pool
+
+func init() {
+	// New assigned here, not in the composite literal, so fire can refer to
+	// the pool's own element without an initialization cycle.
+	dirEventPool.New = func() any {
+		e := &dirEvent{}
+		e.fire = e.run
+		return e
+	}
+}
+
+func (e *dirEvent) run() {
+	c, from := e.c, e.from
+	c.onDirect(from, e.buf)
+	// onDirect never retains the payload (DecodeOpenReplyInto copies the
+	// few strings it keeps), so the buffer can be reused immediately.
+	e.c, e.from, e.buf = nil, "", e.buf[:0]
+	dirEventPool.Put(e)
 }
 
 // New creates a client bound to its own endpoint. Call Watch to start.
@@ -250,10 +299,13 @@ func New(cfg Config) (*Client, error) {
 		c.resolver = congress.NewResolver(cfg.Clock,
 			mux.Channel(transport.ChannelDirectory), transport.Addr(cfg.Directory))
 	}
+	c.sendOpenFn = c.sendOpen
 	c.vid.SetHandler(c.onVideo)
 	c.proc.SetDirectHandler(func(from gcs.ProcessID, payload []byte) {
-		data := append([]byte(nil), payload...)
-		cfg.Clock.AfterFunc(0, func() { c.onDirect(from, data) })
+		e := dirEventPool.Get().(*dirEvent)
+		e.c, e.from = c, from
+		e.buf = append(e.buf[:0], payload...)
+		cfg.Clock.AfterFunc(0, e.fire)
 	})
 	return c, nil
 }
@@ -266,23 +318,43 @@ func (c *Client) ID() string { return c.cfg.ID }
 // the two-way connection — then anycasts the Open to the server group.
 func (c *Client) Watch(movieID string) error {
 	c.mu.Lock()
-	if c.state != StateIdle {
+	switch c.state {
+	case StateIdle, StateStopped, StateFinished:
+		// A stopped or finished client may watch again; its session state
+		// (pipeline, policy) is reused in place rather than reallocated,
+		// so a fleet cycling through titles — or a chaos harness
+		// restarting viewers — pays the setup allocations once.
+	default:
 		c.mu.Unlock()
 		return fmt.Errorf("client %s: cannot watch in state %v", c.cfg.ID, c.state)
 	}
 	c.state = StateOpening
 	c.movie = movieID
-	c.pipeline = buffer.New(c.cfg.Buffer)
-	c.policy = flowctl.NewPolicy(c.cfg.Flow)
+	if c.pipeline == nil {
+		c.pipeline = buffer.New(c.cfg.Buffer)
+	} else {
+		c.pipeline.Reset(0)
+	}
+	if c.policy == nil {
+		c.policy = flowctl.NewPolicy(c.cfg.Flow)
+	} else {
+		c.policy.Reset(c.cfg.Flow)
+	}
+	c.paused = false
+	c.reopening = false
+	c.openAttempt = 0
+	rejoined := c.session != nil // finished-then-rewatch: still a member
 	c.mu.Unlock()
 
-	session, err := c.proc.Join(SessionGroupName(c.cfg.ID), gcs.Handlers{})
-	if err != nil {
-		return fmt.Errorf("client %s: joining session group: %w", c.cfg.ID, err)
+	if !rejoined {
+		session, err := c.proc.Join(SessionGroupName(c.cfg.ID), gcs.Handlers{})
+		if err != nil {
+			return fmt.Errorf("client %s: joining session group: %w", c.cfg.ID, err)
+		}
+		c.mu.Lock()
+		c.session = session
+		c.mu.Unlock()
 	}
-	c.mu.Lock()
-	c.session = session
-	c.mu.Unlock()
 
 	if c.resolver != nil {
 		c.resolveThenOpen()
@@ -406,7 +478,7 @@ func (c *Client) sendOpen() {
 	if c.openTimer != nil {
 		c.openTimer.Stop()
 	}
-	c.openTimer = c.cfg.Clock.AfterFunc(c.openDelayLocked(), c.sendOpen)
+	c.openTimer = c.cfg.Clock.AfterFunc(c.openDelayLocked(), c.sendOpenFn)
 	c.openAttempt++
 	c.mu.Unlock()
 
@@ -415,15 +487,15 @@ func (c *Client) sendOpen() {
 
 // onDirect handles point-to-point replies — the OpenReply.
 func (c *Client) onDirect(_ gcs.ProcessID, payload []byte) {
-	msg, err := wire.Decode(payload)
-	if err != nil {
-		return
-	}
-	reply, ok := msg.(*wire.OpenReply)
-	if !ok {
+	if len(payload) == 0 || wire.Kind(payload[0]) != wire.KindOpenReply {
 		return
 	}
 	c.mu.Lock()
+	reply := &c.orIn
+	if err := wire.DecodeOpenReplyInto(reply, payload); err != nil {
+		c.mu.Unlock()
+		return
+	}
 	if reply.Movie != c.movie || !c.openActiveLocked() {
 		c.mu.Unlock()
 		return
@@ -434,7 +506,7 @@ func (c *Client) onDirect(_ gcs.ProcessID, payload []byte) {
 		if c.openTimer != nil {
 			c.openTimer.Stop()
 		}
-		c.openTimer = c.cfg.Clock.AfterFunc(10*time.Millisecond, c.sendOpen)
+		c.openTimer = c.cfg.Clock.AfterFunc(10*time.Millisecond, c.sendOpenFn)
 		c.mu.Unlock()
 		return
 	}
@@ -578,11 +650,12 @@ func (c *Client) onVideo(_ transport.Addr, payload []byte) {
 			c.ctr.emergSent.Inc()
 			c.cfg.Obs.Event("client.emergency", fmt.Sprintf("%s occ=%d", c.cfg.ID, occ.CombinedFrames))
 		}
-		pkt = wire.Encode(&wire.FlowControl{
+		c.fcOut = wire.FlowControl{
 			ClientID:  c.cfg.ID,
 			Request:   kind,
 			Occupancy: uint16(occ.CombinedFrames),
-		})
+		}
+		pkt = c.fcEnc.Encode(&c.fcOut)
 	}
 	c.mu.Unlock()
 

@@ -1,0 +1,11 @@
+//go:build !clockdebug
+
+package clock
+
+// releaseDebug gates the double-release assertion in Release. The default
+// build keeps the historical behavior — a Release of an already-recycled
+// record is silently ignored, since the record may already back an unrelated
+// timer and touching it would corrupt the queue. Build with -tags clockdebug
+// (CI does, for the race suite) to turn such a call into a panic and surface
+// the caller bug instead of masking it.
+const releaseDebug = false

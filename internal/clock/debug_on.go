@@ -1,0 +1,10 @@
+//go:build clockdebug
+
+package clock
+
+// releaseDebug is the clockdebug-build counterpart of debug_off.go: Release
+// panics when handed a record that is already on the free list, which is the
+// signature of a double release — a caller kept a handle past the point it
+// surrendered the record, and the record may meanwhile be carrying someone
+// else's timer.
+const releaseDebug = true

@@ -1,0 +1,36 @@
+//go:build clockdebug
+
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+// Run with: go test -tags clockdebug ./internal/clock
+
+func TestDebugDoubleReleasePanics(t *testing.T) {
+	c := NewVirtual(testEpoch)
+	tm := c.AfterFunc(time.Millisecond, func() {})
+	Release(tm)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release of the same record did not panic under clockdebug")
+		}
+	}()
+	Release(tm)
+}
+
+func TestDebugStopThenReleaseIsLegal(t *testing.T) {
+	// Stop followed by one Release is the documented hand-back sequence and
+	// must not trip the assertion.
+	c := NewVirtual(testEpoch)
+	tm := c.AfterFunc(time.Millisecond, func() {})
+	tm.Stop()
+	Release(tm)
+
+	// Likewise a Release after natural firing.
+	tm = c.AfterFunc(time.Millisecond, func() {})
+	c.Advance(time.Millisecond)
+	Release(tm)
+}

@@ -59,8 +59,14 @@ func (p *Periodic) SetPeriod(d time.Duration) {
 	p.period = d
 }
 
-// Stop cancels the task. No ticks run after Stop returns on a Virtual
-// clock; on a Real clock a tick already in flight may still complete.
+// Stop cancels the task: the pending timer is released and no further tick
+// is ever dispatched. A tick whose timer has already fired may still be
+// between re-arming and invoking fn when Stop is called — tick drops the
+// mutex before calling fn so that fn may itself call Stop (display loops
+// stop their own task from inside the tick) — so on any clock at most one
+// invocation of fn can still complete after Stop returns. Callers needing a
+// hard cut must make fn check its own stop condition, as every fn in this
+// repository does by re-checking state under its subsystem lock.
 func (p *Periodic) Stop() {
 	p.mu.Lock()
 	defer p.mu.Unlock()

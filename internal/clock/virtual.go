@@ -13,26 +13,72 @@ import (
 // Drain), never concurrently with each other. Event callbacks may schedule
 // further events and stop timers.
 //
-// The event queue is a slice-backed binary min-heap ordered by (when, seq)
-// with a free list of event records, so steady-state timer traffic — frame
-// pacing, heartbeats, packet deliveries — allocates nothing: Schedule
-// recycles its event automatically when it fires, and AfterFunc callers that
-// are done with a Timer can hand its record back with Release.
+// The queue is a coalescing timer wheel: events sharing a deadline are
+// grouped into one bucket (scheduling order within the bucket is creation
+// order, which preserves the (when, seq) contract), and the buckets form a
+// binary min-heap keyed on the deadline's integer nanoseconds. Simulated
+// workloads schedule heavily onto shared instants — frame-pacing grids,
+// zero-delay trampolines, heartbeats phase-locked at start — so the heap a
+// frame-pacing timer percolates through is one or two orders of magnitude
+// smaller than an event-per-entry heap, and the comparisons are single
+// integer compares instead of time.Time method calls. Event records come
+// from slab-allocated chunks recycled through a free list, so steady-state
+// timer traffic — frame pacing, heartbeats, packet deliveries — allocates
+// nothing: Schedule recycles its event automatically when it fires, and
+// AfterFunc callers that are done with a Timer can hand its record back with
+// Release.
 type Virtual struct {
-	mu   sync.Mutex
-	now  time.Time
-	pq   []*event // min-heap on (when, seq)
-	free *event   // free list, linked through event.nextFree
-	seq  uint64
-	runs uint64 // total events executed, for diagnostics
+	mu       sync.Mutex
+	now      time.Time
+	nowNanos int64 // now.UnixNano(), cached: bucket keys are integer nanos
+
+	buckets map[int64]*bucket // pending buckets by deadline nanos
+	bq      []*bucket         // min-heap on bucket.nanos (keys are unique)
+
+	// Recycled bucket records, segregated by backing so a record whose evs
+	// slice grew past the inline array is preferentially reissued to the
+	// deadlines that need it: same-instant deferrals (d == 0) fan dozens of
+	// events into one bucket, while serialized egress packets get unique
+	// deadlines and never outgrow the inline array. One mixed LIFO list
+	// would constantly hand small records to big instants and regrow them.
+	freeB    []*bucket // inline-backed records
+	freeBBig []*bucket // records with a grown evs slice (capacity stays warm)
+
+	free  *event  // free list of event records
+	slab  []event // current allocation chunk for fresh records
+	slabN int
+
+	bslab  []bucket // current allocation chunk for fresh buckets
+	bslabN int
+
+	seq     uint64
+	runs    uint64 // total events executed, for diagnostics
+	pending int    // armed events across all buckets
 }
 
 var _ Clock = (*Virtual)(nil)
 var _ Scheduler = (*Virtual)(nil)
 
+// eventSlabSize is how many event records one allocation provides. Capacity
+// runs arm tens of thousands of concurrent events (one per in-flight packet,
+// one per paced session); chunking the records keeps the cold-start cost at
+// a few dozen allocations instead of one per record.
+const eventSlabSize = 256
+
+// bucketSlabSize is the same chunking for bucket records. Egress
+// serialization gives most in-flight packets a unique deadline, so the
+// high-water mark of simultaneous buckets tracks the high-water mark of
+// events; without slabs every fresh instant would cost a bucket allocation
+// plus its first entry-slice allocation.
+const bucketSlabSize = 64
+
 // NewVirtual returns a Virtual clock whose current time is start.
 func NewVirtual(start time.Time) *Virtual {
-	return &Virtual{now: start}
+	return &Virtual{
+		now:      start,
+		nowNanos: start.UnixNano(),
+		buckets:  make(map[int64]*bucket),
+	}
 }
 
 // Now implements Clock.
@@ -42,27 +88,100 @@ func (c *Virtual) Now() time.Time {
 	return c.now
 }
 
-// newEventLocked takes an event record off the free list (or allocates one)
-// and arms it. Caller must hold mu.
+// bucket holds every pending event for one deadline instant. Entries before
+// cur have already been consumed (their slots are nil); entries at or after
+// cur are armed, in seq order — appends are creation-ordered and removals
+// preserve relative order.
+type bucket struct {
+	nanos int64     // deadline in UnixNano; the heap key, unique per bucket
+	when  time.Time // the deadline as first computed, for advancing now
+	index int       // position in the bucket heap
+	cur   int       // next entry to fire
+	evs   []*event
+	// inline backs evs for the common case — most instants hold a single
+	// event — so a fresh bucket needs no entry-slice allocation; evs only
+	// moves to the heap when a shared instant outgrows it.
+	inline [4]*event
+}
+
+// takeEventLocked returns a blank event record: free list first, then the
+// current slab, growing a fresh slab when both run dry. Caller holds mu.
+func (c *Virtual) takeEventLocked() *event {
+	if ev := c.free; ev != nil {
+		c.free = ev.nextFree
+		ev.nextFree = nil
+		return ev
+	}
+	if c.slabN == len(c.slab) {
+		c.slab = make([]event, eventSlabSize)
+		c.slabN = 0
+	}
+	ev := &c.slab[c.slabN]
+	c.slabN++
+	ev.c = c
+	return ev
+}
+
+// newEventLocked arms a recycled (or freshly slab-carved) event record.
+// Caller must hold mu.
 func (c *Virtual) newEventLocked(d time.Duration, f func(), autoFree bool) *event {
 	if d < 0 {
 		d = 0
 	}
-	ev := c.free
-	if ev != nil {
-		c.free = ev.nextFree
-		ev.nextFree = nil
-	} else {
-		ev = &event{c: c}
-	}
-	ev.when = c.now.Add(d)
+	ev := c.takeEventLocked()
 	ev.seq = c.seq
 	ev.fn = f
 	ev.state = statePending
 	ev.autoFree = autoFree
 	c.seq++
-	c.pushLocked(ev)
+
+	nanos := c.nowNanos + int64(d)
+	b := c.buckets[nanos]
+	if b == nil {
+		b = c.takeBucketLocked(d == 0)
+		b.nanos = nanos
+		b.when = c.now.Add(d)
+		b.cur = 0
+		c.buckets[nanos] = b
+		c.pushBucketLocked(b)
+	}
+	ev.b = b
+	ev.pos = len(b.evs)
+	if len(b.evs) == cap(b.evs) && cap(b.evs) == len(b.inline) {
+		// Outgrowing the inline array: jump straight to the steady-state
+		// size for fan-in buckets instead of letting append double through
+		// 8, 16, 32 — the grown backing stays with the record forever.
+		evs := make([]*event, len(b.evs), 64)
+		copy(evs, b.evs)
+		b.evs = evs
+	}
+	b.evs = append(b.evs, ev)
+	c.pending++
 	return ev
+}
+
+// takeBucketLocked issues a bucket record, preferring a grown one for
+// same-instant deferrals (they fan many events into one bucket) and an
+// inline-backed one for everything else. Caller holds mu.
+func (c *Virtual) takeBucketLocked(big bool) *bucket {
+	from := &c.freeB
+	if big && len(c.freeBBig) > 0 || !big && len(c.freeB) == 0 {
+		from = &c.freeBBig
+	}
+	if n := len(*from); n > 0 {
+		b := (*from)[n-1]
+		(*from)[n-1] = nil
+		*from = (*from)[:n-1]
+		return b
+	}
+	if c.bslabN == len(c.bslab) {
+		c.bslab = make([]bucket, bucketSlabSize)
+		c.bslabN = 0
+	}
+	b := &c.bslab[c.bslabN]
+	c.bslabN++
+	b.evs = b.inline[:0]
+	return b
 }
 
 // AfterFunc implements Clock. The returned Timer's record is not recycled
@@ -87,7 +206,7 @@ func (c *Virtual) Schedule(d time.Duration, f func()) {
 func (c *Virtual) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.pq)
+	return c.pending
 }
 
 // Executed returns the total number of events run so far.
@@ -101,7 +220,7 @@ func (c *Virtual) Executed() uint64 {
 // deadline. It reports whether an event was executed.
 func (c *Virtual) Step() bool {
 	c.mu.Lock()
-	fn := c.takeLocked(nil)
+	fn := c.takeLocked(0, false)
 	c.mu.Unlock()
 	if fn == nil {
 		return false
@@ -110,30 +229,44 @@ func (c *Virtual) Step() bool {
 	return true
 }
 
-// takeLocked pops the earliest event due at or before limit (no limit when
-// nil), advances the clock to its deadline, and returns its callback — nil
-// if no event qualifies. Auto-free events are recycled here, before the
-// callback runs: nothing else references them, and the callback itself is
-// already copied out. Caller holds mu.
-func (c *Virtual) takeLocked(limit *time.Time) func() {
-	if len(c.pq) == 0 {
-		return nil
+// takeLocked pops the earliest event due at or before limitNanos (no limit
+// when limited is false), advances the clock to its deadline, and returns
+// its callback — nil if no event qualifies. Auto-free events are recycled
+// here, before the callback runs: nothing else references them, and the
+// callback itself is already copied out. A drained bucket is left in place
+// until its turn at the heap root comes again, so callbacks scheduling onto
+// the same instant (zero-delay trampolines) append behind the cursor and
+// fire this pass, in seq order. Caller holds mu.
+func (c *Virtual) takeLocked(limitNanos int64, limited bool) func() {
+	for {
+		if len(c.bq) == 0 {
+			return nil
+		}
+		b := c.bq[0]
+		if b.cur == len(b.evs) {
+			c.removeBucketLocked(b) // fully consumed; lazily reclaimed here
+			continue
+		}
+		if limited && b.nanos > limitNanos {
+			return nil
+		}
+		ev := b.evs[b.cur]
+		b.evs[b.cur] = nil
+		b.cur++
+		if b.nanos > c.nowNanos {
+			c.now = b.when
+			c.nowNanos = b.nanos
+		}
+		c.runs++
+		c.pending--
+		ev.state = stateFired
+		ev.b = nil
+		fn := ev.fn
+		if ev.autoFree {
+			c.recycleLocked(ev)
+		}
+		return fn
 	}
-	ev := c.pq[0]
-	if limit != nil && ev.when.After(*limit) {
-		return nil
-	}
-	c.popLocked()
-	if ev.when.After(c.now) {
-		c.now = ev.when
-	}
-	c.runs++
-	ev.state = stateFired
-	fn := ev.fn
-	if ev.autoFree {
-		c.recycleLocked(ev)
-	}
-	return fn
 }
 
 // Advance runs every event with a deadline at or before now+d, in order,
@@ -151,13 +284,15 @@ func (c *Virtual) Advance(d time.Duration) int {
 // clock to t (if t is later than the current time). It returns the number
 // of events executed.
 func (c *Virtual) AdvanceTo(t time.Time) int {
+	limit := t.UnixNano()
 	n := 0
 	for {
 		c.mu.Lock()
-		fn := c.takeLocked(&t)
+		fn := c.takeLocked(limit, true)
 		if fn == nil {
-			if t.After(c.now) {
+			if limit > c.nowNanos {
 				c.now = t
+				c.nowNanos = limit
 			}
 			c.mu.Unlock()
 			return n
@@ -184,17 +319,62 @@ func (c *Virtual) Drain(limit int) int {
 }
 
 // recycleLocked clears an event record and links it onto the free list.
-// Caller holds mu; the event must no longer be in the heap.
+// Caller holds mu; the event must no longer be in any bucket.
 func (c *Virtual) recycleLocked(ev *event) {
 	ev.fn = nil
+	ev.b = nil
 	ev.state = stateFree
 	ev.nextFree = c.free
 	c.free = ev
 }
 
+// unlinkLocked removes a pending event from its bucket, preserving the
+// relative order of the remaining entries, and reclaims the bucket if
+// nothing pending is left in it. Caller holds mu.
+func (c *Virtual) unlinkLocked(ev *event) {
+	b := ev.b
+	i := ev.pos
+	last := len(b.evs) - 1
+	copy(b.evs[i:], b.evs[i+1:])
+	b.evs[last] = nil
+	b.evs = b.evs[:last]
+	for j := i; j < last; j++ {
+		b.evs[j].pos = j
+	}
+	ev.b = nil
+	c.pending--
+	if b.cur == len(b.evs) {
+		c.removeBucketLocked(b)
+	}
+}
+
+// removeBucketLocked takes a bucket (drained or emptied by cancellations)
+// out of the heap and the deadline map and recycles its record; the entry
+// slice keeps its capacity for the next occupant. Caller holds mu.
+func (c *Virtual) removeBucketLocked(b *bucket) {
+	i := b.index
+	last := len(c.bq) - 1
+	c.swapLocked(i, last)
+	c.bq[last] = nil
+	c.bq = c.bq[:last]
+	b.index = -1
+	if i < last {
+		c.downLocked(i)
+		c.upLocked(i)
+	}
+	delete(c.buckets, b.nanos)
+	b.evs = b.evs[:0]
+	b.cur = 0
+	if cap(b.evs) > len(b.inline) {
+		c.freeBBig = append(c.freeBBig, b)
+	} else {
+		c.freeB = append(c.freeB, b)
+	}
+}
+
 // Event lifecycle states.
 const (
-	statePending = uint8(iota) // armed, in the heap
+	statePending = uint8(iota) // armed, in a bucket
 	stateFired                 // callback ran (or is about to run)
 	stateStopped               // cancelled before firing
 	stateFree                  // recycled onto the free list
@@ -202,12 +382,12 @@ const (
 
 // event is a pending Virtual callback; it doubles as the Timer handle.
 type event struct {
-	when     time.Time
 	seq      uint64
 	fn       func()
 	c        *Virtual
-	nextFree *event // free-list link while recycled
-	index    int    // heap index; -1 once removed
+	nextFree *event  // free-list link while recycled
+	b        *bucket // owning bucket while pending
+	pos      int     // position in b.evs; meaningless once consumed
 	state    uint8
 	autoFree bool // Schedule()-created: recycle on fire, no handle exists
 }
@@ -223,7 +403,7 @@ func (ev *event) Stop() bool {
 	if ev.state != statePending {
 		return false
 	}
-	ev.c.removeLocked(ev)
+	ev.c.unlinkLocked(ev)
 	ev.state = stateStopped
 	ev.fn = nil
 	return true
@@ -234,7 +414,9 @@ func (ev *event) Stop() bool {
 // makes re-arming timer patterns (pacing loops, periodic tasks)
 // allocation-free: after Release returns, the handle is dead and must be
 // discarded — calling Stop or Release on it again is a caller bug, since the
-// record may already be carrying an unrelated timer. For Timers from other
+// record may already be carrying an unrelated timer. Building with the
+// clockdebug tag turns a releases-after-release into a panic instead of a
+// silent (and potentially queue-corrupting) no-op. For Timers from other
 // clocks, Release just calls Stop.
 func Release(t Timer) {
 	ev, ok := t.(*event)
@@ -249,69 +431,40 @@ func Release(t Timer) {
 	defer c.mu.Unlock()
 	switch ev.state {
 	case statePending:
-		c.removeLocked(ev)
+		c.unlinkLocked(ev)
 	case stateFree:
 		// Double release: the record may already back another timer, so
-		// touching it would corrupt the queue. Leave it alone.
+		// touching it would corrupt the queue. Leave it alone (and, under
+		// the clockdebug build tag, panic so the caller bug surfaces).
+		if releaseDebug {
+			panic("clock: Release called on an already-released timer record")
+		}
 		return
 	}
 	c.recycleLocked(ev)
 }
 
-// Heap primitives: a standard binary min-heap on (when, seq), kept inline
-// (no container/heap) so Push/Pop stay monomorphic and allocation-free.
-
-func (c *Virtual) lessLocked(i, j int) bool {
-	a, b := c.pq[i], c.pq[j]
-	if !a.when.Equal(b.when) {
-		return a.when.Before(b.when)
-	}
-	return a.seq < b.seq
-}
+// Heap primitives: a standard binary min-heap over buckets keyed on their
+// integer deadline, kept inline (no container/heap) so Push/Pop stay
+// monomorphic and allocation-free. Keys are unique — one bucket per instant
+// — so no tie-break is needed.
 
 func (c *Virtual) swapLocked(i, j int) {
-	c.pq[i], c.pq[j] = c.pq[j], c.pq[i]
-	c.pq[i].index = i
-	c.pq[j].index = j
+	c.bq[i], c.bq[j] = c.bq[j], c.bq[i]
+	c.bq[i].index = i
+	c.bq[j].index = j
 }
 
-func (c *Virtual) pushLocked(ev *event) {
-	ev.index = len(c.pq)
-	c.pq = append(c.pq, ev)
-	c.upLocked(ev.index)
-}
-
-// popLocked removes the heap root.
-func (c *Virtual) popLocked() {
-	last := len(c.pq) - 1
-	root := c.pq[0]
-	c.swapLocked(0, last)
-	c.pq[last] = nil
-	c.pq = c.pq[:last]
-	root.index = -1
-	if last > 0 {
-		c.downLocked(0)
-	}
-}
-
-// removeLocked deletes an event from an arbitrary heap position.
-func (c *Virtual) removeLocked(ev *event) {
-	i := ev.index
-	last := len(c.pq) - 1
-	c.swapLocked(i, last)
-	c.pq[last] = nil
-	c.pq = c.pq[:last]
-	ev.index = -1
-	if i < last {
-		c.downLocked(i)
-		c.upLocked(i)
-	}
+func (c *Virtual) pushBucketLocked(b *bucket) {
+	b.index = len(c.bq)
+	c.bq = append(c.bq, b)
+	c.upLocked(b.index)
 }
 
 func (c *Virtual) upLocked(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !c.lessLocked(i, parent) {
+		if c.bq[i].nanos >= c.bq[parent].nanos {
 			break
 		}
 		c.swapLocked(i, parent)
@@ -320,17 +473,17 @@ func (c *Virtual) upLocked(i int) {
 }
 
 func (c *Virtual) downLocked(i int) {
-	n := len(c.pq)
+	n := len(c.bq)
 	for {
 		left := 2*i + 1
 		if left >= n {
 			return
 		}
 		least := left
-		if right := left + 1; right < n && c.lessLocked(right, left) {
+		if right := left + 1; right < n && c.bq[right].nanos < c.bq[left].nanos {
 			least = right
 		}
-		if !c.lessLocked(least, i) {
+		if c.bq[least].nanos >= c.bq[i].nanos {
 			return
 		}
 		c.swapLocked(i, least)

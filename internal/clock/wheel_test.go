@@ -1,0 +1,161 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Tests for the coalescing timer-wheel internals: many events sharing one
+// deadline live in one bucket, and cancellation inside a bucket must
+// preserve the firing order of the survivors.
+
+func TestWheelCoalescesSharedDeadlines(t *testing.T) {
+	c := NewVirtual(testEpoch)
+	for i := 0; i < 100; i++ {
+		c.AfterFunc(time.Second, func() {})
+	}
+	for i := 0; i < 50; i++ {
+		c.AfterFunc(2*time.Second, func() {})
+	}
+	c.mu.Lock()
+	heapLen := len(c.bq)
+	c.mu.Unlock()
+	if heapLen != 2 {
+		t.Fatalf("150 events on 2 deadlines occupy %d heap entries, want 2", heapLen)
+	}
+	if got := c.Len(); got != 150 {
+		t.Fatalf("Len() = %d, want 150", got)
+	}
+	if n := c.Advance(2 * time.Second); n != 150 {
+		t.Fatalf("Advance executed %d events, want 150", n)
+	}
+	if got := c.Len(); got != 0 {
+		t.Fatalf("Len() after drain = %d, want 0", got)
+	}
+}
+
+func TestWheelStopInsideBucketKeepsOrder(t *testing.T) {
+	c := NewVirtual(testEpoch)
+	var got []int
+	timers := make([]Timer, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		timers[i] = c.AfterFunc(time.Second, func() { got = append(got, i) })
+	}
+	// Cancel a middle, the first and the last entry of the bucket.
+	timers[4].Stop()
+	timers[0].Stop()
+	timers[9].Stop()
+	c.Advance(time.Second)
+	want := []int{1, 2, 3, 5, 6, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWheelSameInstantScheduleDuringDrain(t *testing.T) {
+	// A callback scheduling at zero delay lands in the very bucket being
+	// drained and must fire in the same pass, after everything already
+	// pending at that instant.
+	c := NewVirtual(testEpoch)
+	var got []string
+	c.AfterFunc(time.Second, func() {
+		got = append(got, "a")
+		c.AfterFunc(0, func() { got = append(got, "nested") })
+	})
+	c.AfterFunc(time.Second, func() { got = append(got, "b") })
+	c.Advance(time.Second)
+	want := []string{"a", "b", "nested"}
+	if len(got) != len(want) {
+		t.Fatalf("order %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWheelStopLastPendingReclaimsBucket(t *testing.T) {
+	c := NewVirtual(testEpoch)
+	tm := c.AfterFunc(time.Second, func() {})
+	c.AfterFunc(2*time.Second, func() {})
+	tm.Stop()
+	c.mu.Lock()
+	heapLen, mapLen := len(c.bq), len(c.buckets)
+	c.mu.Unlock()
+	if heapLen != 1 || mapLen != 1 {
+		t.Fatalf("after cancelling a bucket's only event: heap=%d map=%d, want 1/1", heapLen, mapLen)
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("Len() = %d, want 1", got)
+	}
+}
+
+// TestPeriodicStopAtMostOneTickAfter pins the Stop contract under -race: a
+// tick whose timer already fired may still complete after Stop returns, but
+// never more than one, and no tick starts afterwards. Run with -race this
+// also proves Stop and tick don't race on Periodic state.
+func TestPeriodicStopAtMostOneTickAfter(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		c := NewVirtual(testEpoch)
+		var mu sync.Mutex
+		ticks := 0
+		p := Every(c, time.Millisecond, func() {
+			mu.Lock()
+			ticks++
+			mu.Unlock()
+		})
+
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			c.Advance(50 * time.Millisecond)
+		}()
+		// Let a few ticks happen, then stop concurrently with the advance.
+		for {
+			mu.Lock()
+			n := ticks
+			mu.Unlock()
+			if n >= 3 {
+				break
+			}
+		}
+		p.Stop()
+		mu.Lock()
+		atStop := ticks
+		mu.Unlock()
+		<-done
+		mu.Lock()
+		final := ticks
+		mu.Unlock()
+		if final > atStop+1 {
+			t.Fatalf("iteration %d: %d ticks completed after Stop returned, want ≤ 1", iter, final-atStop)
+		}
+	}
+}
+
+// TestPeriodicStopFromWithinTick pins the reentrant use every display loop
+// relies on: fn calling Stop on its own task must not deadlock, and no tick
+// runs afterwards.
+func TestPeriodicStopFromWithinTick(t *testing.T) {
+	c := NewVirtual(testEpoch)
+	n := 0
+	var p *Periodic
+	p = Every(c, time.Millisecond, func() {
+		n++
+		if n == 3 {
+			p.Stop()
+		}
+	})
+	c.Advance(time.Second)
+	if n != 3 {
+		t.Fatalf("self-stopping periodic ran %d ticks, want 3", n)
+	}
+}

@@ -51,6 +51,16 @@ func NewPolicy(p Params) *Policy {
 	return &Policy{p: p, emergencyArmed: true}
 }
 
+// Reset reinitializes the policy in place to the state NewPolicy would
+// return — used when a client re-watches, so a long-lived viewer reuses
+// one Policy across incarnations instead of allocating a fresh one.
+func (f *Policy) Reset(p Params) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	*f = Policy{p: p, emergencyArmed: true}
+}
+
 func (f *Policy) zoneOf(combined, software int) zone {
 	switch {
 	case software < f.p.CriticalMajor:

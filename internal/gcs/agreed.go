@@ -33,13 +33,6 @@ const (
 	payloadSafe   uint8 = 3
 )
 
-// wrapPlain frames an ordinary multicast payload.
-func wrapPlain(data []byte) []byte {
-	out := make([]byte, 0, len(data)+1)
-	out = append(out, payloadPlain)
-	return append(out, data...)
-}
-
 // wrapAgreed frames a sequencer-forwarded payload.
 func wrapAgreed(sender ProcessID, seq uint64, data []byte) []byte {
 	out := make([]byte, 0, len(data)+16+len(sender))
@@ -144,9 +137,7 @@ func (m *Member) deliverAgreedLocked(orig ProcessID, seq uint64, data []byte, cb
 			delete(fwd, next) // sequencer dedup no longer needs this entry
 		}
 		if h := m.handlers.OnMessage; h != nil {
-			group := m.group
-			payload := d
-			cb.add(func() { h(group, orig, payload) })
+			cb.addMsg(h, m.group, orig, d)
 		}
 	}
 }

@@ -14,11 +14,13 @@ import (
 // so the codec carries its own lock, held across one decode. The codec never
 // calls back into the Process, so the lock nests safely under p.mu.
 type codec struct {
-	mu        sync.Mutex
-	interned  map[string]string
-	freeVec   []map[ProcessID]uint64
-	freeMcast []*msgMcast
-	freeAck   []*msgAckVec
+	mu          sync.Mutex
+	interned    map[string]string
+	freeVec     []map[ProcessID]uint64
+	freeMcast   []*msgMcast
+	freeAck     []*msgAckVec
+	freeDirect  []*msgDirect
+	freeAnycast []*msgAnycast
 }
 
 // Bounds keep a pathological workload (say, unbounded group-name churn)
@@ -86,6 +88,25 @@ func (c *codec) recycle(msg any) {
 			c.freeAck = append(c.freeAck, m)
 		}
 		c.mu.Unlock()
+	case *msgDirect:
+		// The payload slice (aliasing the transport receive buffer) was
+		// copied into the callback entry before dispatch released p.mu,
+		// so only the envelope struct is being reused here.
+		c.mu.Lock()
+		*m = msgDirect{}
+		if len(c.freeDirect) < maxFreeList {
+			c.freeDirect = append(c.freeDirect, m)
+		}
+		c.mu.Unlock()
+	case *msgAnycast:
+		// Same contract as msgDirect: the handler entry captured group and
+		// payload by value before dispatch finished, never the struct.
+		c.mu.Lock()
+		*m = msgAnycast{}
+		if len(c.freeAnycast) < maxFreeList {
+			c.freeAnycast = append(c.freeAnycast, m)
+		}
+		c.mu.Unlock()
 	}
 }
 
@@ -147,6 +168,24 @@ func (c *codec) takeMcastLocked() *msgMcast {
 	return new(msgMcast)
 }
 
+func (c *codec) takeDirectLocked() *msgDirect {
+	if k := len(c.freeDirect); k > 0 {
+		m := c.freeDirect[k-1]
+		c.freeDirect = c.freeDirect[:k-1]
+		return m
+	}
+	return new(msgDirect)
+}
+
+func (c *codec) takeAnycastLocked() *msgAnycast {
+	if k := len(c.freeAnycast); k > 0 {
+		m := c.freeAnycast[k-1]
+		c.freeAnycast = c.freeAnycast[:k-1]
+		return m
+	}
+	return new(msgAnycast)
+}
+
 func (c *codec) takeAckLocked() *msgAckVec {
 	if k := len(c.freeAck); k > 0 {
 		m := c.freeAck[k-1]
@@ -172,9 +211,14 @@ func (c *codec) decode(buf []byte) (any, error) {
 	case kindHeartbeat:
 		m = &msgHeartbeat{}
 	case kindDirect:
-		m = &msgDirect{payload: r.Bytes()}
+		d := c.takeDirectLocked()
+		d.payload = r.Bytes()
+		m = d
 	case kindAnycast:
-		m = &msgAnycast{group: c.stringLocked(r), payload: r.Bytes()}
+		a := c.takeAnycastLocked()
+		a.group = c.stringLocked(r)
+		a.payload = r.Bytes()
+		m = a
 	case kindMcast:
 		mc := c.takeMcastLocked()
 		mc.group = c.stringLocked(r)

@@ -13,13 +13,22 @@ type detector struct {
 	p         *Process
 	lastHeard map[ProcessID]time.Time
 	suspected map[ProcessID]bool
+
+	// peersLocked scratch: the watch set is rebuilt every heartbeat tick,
+	// but its contents only change on membership events, so the rebuild
+	// runs in reusable storage and the returned snapshot is reallocated
+	// only when the set actually differs.
+	scratchSet map[ProcessID]bool
+	scratch    []ProcessID
+	cache      []ProcessID // immutable once returned; callers may hold it unlocked
 }
 
 func newDetector(p *Process) *detector {
 	return &detector{
-		p:         p,
-		lastHeard: make(map[ProcessID]time.Time),
-		suspected: make(map[ProcessID]bool),
+		p:          p,
+		lastHeard:  make(map[ProcessID]time.Time),
+		suspected:  make(map[ProcessID]bool),
+		scratchSet: make(map[ProcessID]bool),
 	}
 }
 
@@ -27,7 +36,8 @@ func newDetector(p *Process) *detector {
 // co-members of all views plus pending view-change candidates and foreign
 // (joining/merging) processes.
 func (d *detector) peersLocked() []ProcessID {
-	set := make(map[ProcessID]bool)
+	set := d.scratchSet
+	clear(set)
 	for _, m := range d.p.members {
 		if !m.active {
 			continue
@@ -53,7 +63,7 @@ func (d *detector) peersLocked() []ProcessID {
 	delete(set, d.p.id)
 
 	now := d.p.cfg.Clock.Now()
-	peers := make([]ProcessID, 0, len(set))
+	peers := d.scratch[:0]
 	for id := range set {
 		peers = append(peers, id)
 		if _, ok := d.lastHeard[id]; !ok {
@@ -69,7 +79,28 @@ func (d *detector) peersLocked() []ProcessID {
 			delete(d.suspected, id)
 		}
 	}
-	return sortedIDs(peers)
+	sortIDs(peers)
+	d.scratch = peers
+	// The caller sends heartbeats after dropping the process lock, so hand
+	// out an immutable snapshot rather than the scratch. The set is stable
+	// between membership events; reallocate only when it changed.
+	if !idsEqual(peers, d.cache) {
+		d.cache = append([]ProcessID(nil), peers...)
+	}
+	return d.cache
+}
+
+// idsEqual reports whether a and b hold the same IDs in the same order.
+func idsEqual(a, b []ProcessID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // heardLocked records life from a peer, clearing any suspicion.

@@ -160,7 +160,52 @@ type Process struct {
 	// is taken.
 	codec codec
 
+	// bufFree recycles plain-multicast payload buffers (the wrap-on-send
+	// and copy-on-receive allocations). A buffer returns to the list when
+	// the retaining member garbage-collects it at stability — the point
+	// after which no retransmission or delivery can reference it. Guarded
+	// by p.mu.
+	bufFree [][]byte
+
+	// mScratch backs membersOrderedLocked; consumers finish with the slice
+	// before p.mu is released.
+	mScratch []*Member
+
+	// sendBuf frames outbound Anycast/Send datagrams. Guarded by p.mu and
+	// handed to Endpoint.Send while still held — legal because Send
+	// implementations never retain the payload after returning (the
+	// transport copy-on-retain rule), and inbound dispatch never runs
+	// under another process's p.mu, so the nested lock order is one-way.
+	sendBuf []byte
+
 	hbTask *clock.Periodic
+}
+
+// maxBufFree bounds the payload free list so a burst does not pin its
+// high-water mark of buffers forever.
+const maxBufFree = 256
+
+// getBufLocked returns an empty buffer with at least n bytes of capacity,
+// reusing a recycled payload buffer when one is large enough.
+func (p *Process) getBufLocked(n int) []byte {
+	if k := len(p.bufFree); k > 0 {
+		b := p.bufFree[k-1]
+		p.bufFree[k-1] = nil
+		p.bufFree = p.bufFree[:k-1]
+		if cap(b) >= n {
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, n)
+}
+
+// putBufLocked recycles a payload buffer. Callers must guarantee no alias
+// of b survives: the only caller is stability garbage collection of plain
+// payloads, whose handler callbacks fired strictly earlier.
+func (p *Process) putBufLocked(b []byte) {
+	if cap(b) > 0 && len(p.bufFree) < maxBufFree {
+		p.bufFree = append(p.bufFree, b[:0])
+	}
 }
 
 // procCounters are the protocol counters, resolved once at NewProcess so
@@ -227,12 +272,15 @@ func (p *Process) Join(group string, h Handlers, contacts ...ProcessID) (*Member
 // server group) — delivery is best-effort, like the UDP it rides on.
 func (p *Process) Anycast(target ProcessID, group string, payload []byte) error {
 	p.mu.Lock()
-	closed := p.closed
-	p.mu.Unlock()
-	if closed {
+	if p.closed {
+		p.mu.Unlock()
 		return ErrClosed
 	}
-	return p.cfg.Endpoint.Send(target, encodeAnycast(group, payload))
+	pkt := appendAnycast(p.sendBuf[:0], group, payload)
+	p.sendBuf = pkt[:0]
+	err := p.cfg.Endpoint.Send(target, pkt)
+	p.mu.Unlock()
+	return err
 }
 
 // Send delivers payload to target's direct handler — a plain datagram
@@ -240,12 +288,15 @@ func (p *Process) Anycast(target ProcessID, group string, payload []byte) error 
 // replies such as the VoD OpenReply).
 func (p *Process) Send(target ProcessID, payload []byte) error {
 	p.mu.Lock()
-	closed := p.closed
-	p.mu.Unlock()
-	if closed {
+	if p.closed {
+		p.mu.Unlock()
 		return ErrClosed
 	}
-	return p.cfg.Endpoint.Send(target, encodeDirect(payload))
+	pkt := appendDirect(p.sendBuf[:0], payload)
+	p.sendBuf = pkt[:0]
+	err := p.cfg.Endpoint.Send(target, pkt)
+	p.mu.Unlock()
+	return err
 }
 
 // SetDirectHandler installs the handler for Send datagrams.
@@ -322,15 +373,12 @@ func (p *Process) onPacket(from ProcessID, payload []byte) {
 		// Liveness already recorded above.
 	case *msgDirect:
 		if h := p.direct; h != nil {
-			data := msg.payload
-			cb.add(func() { h(from, data) })
+			cb.addDirect(h, from, msg.payload)
 		}
 	case *msgAnycast:
 		if m := p.members[msg.group]; m != nil && m.active {
-			h := m.handlers.OnMessage
-			if h != nil {
-				group, data := msg.group, msg.payload
-				cb.add(func() { h(group, from, data) })
+			if h := m.handlers.OnMessage; h != nil {
+				cb.addMsg(h, msg.group, from, msg.payload)
 			}
 		}
 	default:
@@ -350,16 +398,70 @@ func (p *Process) onPacket(from ProcessID, payload []byte) {
 
 // callbacks collects application callbacks while the process lock is held,
 // to run after it is released: handlers may re-enter the GCS.
+//
+// The hot delivery shapes — message handlers and the direct handler — are
+// stored as typed entries rather than closures, so queuing a delivery
+// allocates nothing; cold shapes (view changes) still go through add. The
+// backing array is pooled: run returns it once the entries have fired.
 type callbacks struct {
-	fns []func()
+	backing *[]cbEntry
+	entries []cbEntry
 }
 
-func (c *callbacks) add(f func()) { c.fns = append(c.fns, f) }
+// cbEntry is one queued callback. Exactly one of fn, msgH, dirH is set.
+type cbEntry struct {
+	fn     func()
+	msgH   func(group string, from ProcessID, payload []byte)
+	dirH   func(from ProcessID, payload []byte)
+	group  string
+	sender ProcessID
+	data   []byte
+}
+
+var cbSlicePool = sync.Pool{New: func() any {
+	s := make([]cbEntry, 0, 8)
+	return &s
+}}
+
+func (c *callbacks) push(e cbEntry) {
+	if c.backing == nil {
+		c.backing = cbSlicePool.Get().(*[]cbEntry)
+		c.entries = (*c.backing)[:0]
+	}
+	c.entries = append(c.entries, e)
+}
+
+func (c *callbacks) add(f func()) { c.push(cbEntry{fn: f}) }
+
+func (c *callbacks) addMsg(h func(string, ProcessID, []byte), group string, sender ProcessID, data []byte) {
+	c.push(cbEntry{msgH: h, group: group, sender: sender, data: data})
+}
+
+func (c *callbacks) addDirect(h func(ProcessID, []byte), sender ProcessID, data []byte) {
+	c.push(cbEntry{dirH: h, sender: sender, data: data})
+}
 
 func (c *callbacks) run() {
-	for _, f := range c.fns {
-		f()
+	if c.backing == nil {
+		return
 	}
+	for i := range c.entries {
+		e := &c.entries[i]
+		switch {
+		case e.fn != nil:
+			e.fn()
+		case e.msgH != nil:
+			e.msgH(e.group, e.sender, e.data)
+		default:
+			e.dirH(e.sender, e.data)
+		}
+	}
+	// Handlers may have re-entered the GCS, but any nested callbacks drew
+	// their own backing from the pool, so this one is ours to return.
+	clear(c.entries)
+	*c.backing = c.entries[:0]
+	cbSlicePool.Put(c.backing)
+	c.backing, c.entries = nil, nil
 }
 
 // sortIDs sorts ids ascending in place. Insertion sort: membership and key
@@ -415,10 +517,18 @@ func (p *Process) Groups() []string {
 // jitter from one shared RNG, so map iteration order would leak into (and
 // randomize) otherwise seed-deterministic runs.
 func (p *Process) membersOrderedLocked() []*Member {
-	out := make([]*Member, 0, len(p.members))
+	out := p.mScratch[:0]
 	for _, m := range p.members {
 		out = append(out, m)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].group < out[j].group })
+	// Insertion sort: a process belongs to a handful of groups, and unlike
+	// sort.Slice this allocates nothing. Callers consume the slice before
+	// releasing p.mu, so the scratch can back every call.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].group < out[j-1].group; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	p.mScratch = out
 	return out
 }

@@ -185,12 +185,14 @@ func (m *Member) View() View {
 // including this member itself. During a view change the message is queued
 // and sent in the next view.
 func (m *Member) Multicast(payload []byte) error {
-	data := wrapPlain(payload)
 	m.p.mu.Lock()
 	if !m.active {
 		m.p.mu.Unlock()
 		return ErrClosed
 	}
+	// Wrap into a pooled buffer (recycled at stability GC) rather than
+	// wrapPlain's fresh allocation: every multicast send passes here.
+	data := append(append(m.p.getBufLocked(len(payload)+1), payloadPlain), payload...)
 	if m.status != statusNormal {
 		m.sendQueue = append(m.sendQueue, data)
 		m.p.mu.Unlock()
@@ -210,13 +212,17 @@ func (m *Member) multicastWrappedLocked(data []byte, cb *callbacks) {
 	seq := m.ms.sendSeq
 	m.ms.sendSeq++
 	m.ms.retain(m.p.id, seq, data)
-	pkt := encodeMcast(&msgMcast{
+	// Encode into the member scratch: Send copies, and the nested dispatch
+	// below (which can re-enter this function through the agreed-forward
+	// path) only runs after the send loop has fully consumed pkt.
+	pkt := appendMcast(m.encBuf[:0], &msgMcast{
 		group:   m.group,
 		view:    m.view.ID,
 		sender:  m.p.id,
 		seq:     seq,
 		payload: data,
 	})
+	m.encBuf = pkt[:0]
 	for _, id := range m.view.Members {
 		if id != m.p.id {
 			_ = m.p.cfg.Endpoint.Send(id, pkt)
@@ -240,9 +246,7 @@ func (m *Member) dispatchPayloadLocked(sender ProcessID, data []byte, cb *callba
 	switch data[0] {
 	case payloadPlain:
 		if h := m.handlers.OnMessage; h != nil {
-			group := m.group
-			body := data[1:]
-			cb.add(func() { h(group, sender, body) })
+			cb.addMsg(h, m.group, sender, data[1:])
 		}
 	case payloadAgreed:
 		r := wire.NewReader(data[1:])
@@ -259,15 +263,11 @@ func (m *Member) dispatchPayloadLocked(sender ProcessID, data []byte, cb *callba
 			return
 		}
 		if h := m.handlers.OnMessage; h != nil {
-			group := m.group
-			body := env.body
-			cb.add(func() { h(group, sender, body) })
+			cb.addMsg(h, m.group, sender, env.body)
 		}
 	case payloadSafe:
 		if h := m.handlers.OnMessage; h != nil {
-			group := m.group
-			body := data[1:]
-			cb.add(func() { h(group, sender, body) })
+			cb.addMsg(h, m.group, sender, data[1:])
 		}
 	}
 }
@@ -409,7 +409,9 @@ func (m *Member) acceptMcastLocked(msg *msgMcast, deliver bool, cb *callbacks) {
 	if msg.seq < next {
 		return // duplicate
 	}
-	data := append([]byte(nil), msg.payload...)
+	// The decoded payload aliases the transport's receive buffer; copy it
+	// into a pooled buffer that lives until stability garbage collection.
+	data := append(m.p.getBufLocked(len(msg.payload)), msg.payload...)
 	m.ms.park(msg.sender, msg.seq, data)
 	if deliver {
 		m.deliverAllReadyLocked(cb)
@@ -456,13 +458,14 @@ func (m *Member) onNakLocked(from ProcessID, msg *msgNak) {
 		if !ok {
 			continue
 		}
-		pkt := encodeMcast(&msgMcast{
+		pkt := appendMcast(m.encBuf[:0], &msgMcast{
 			group:   m.group,
 			view:    msg.view,
 			sender:  msg.sender,
 			seq:     seq,
 			payload: payload,
 		})
+		m.encBuf = pkt[:0]
 		m.p.ctr.retransmits.Inc()
 		_ = m.p.cfg.Endpoint.Send(from, pkt)
 	}
@@ -546,8 +549,17 @@ func (m *Member) gcStableLocked() {
 				stable = v
 			}
 		}
-		for seq := range retained {
+		for seq, data := range retained {
 			if seq < stable {
+				// Stability means every member delivered it: handler
+				// callbacks have fired and no NAK can ask for it again,
+				// so plain payload buffers are safe to recycle. Tagged
+				// payloads (agreed/causal/safe) are excluded — their
+				// bodies may be parked in holdback state that outlives
+				// the carrier buffer's stability.
+				if len(data) > 0 && data[0] == payloadPlain {
+					m.p.putBufLocked(data)
+				}
 				delete(retained, seq)
 			}
 		}

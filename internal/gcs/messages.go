@@ -237,23 +237,33 @@ func readVec(r *wire.Reader) map[ProcessID]uint64 {
 	return vec
 }
 
-func encodeHeartbeat() []byte { return []byte{kindHeartbeat} }
+// heartbeatPkt is the singleton heartbeat datagram: one constant byte, sent
+// to every peer every tick, so per-send allocation would be pure waste.
+// Send implementations never mutate the payload.
+var heartbeatPkt = []byte{kindHeartbeat}
 
-func encodeDirect(payload []byte) []byte {
-	b := make([]byte, 0, 5+len(payload))
+func encodeHeartbeat() []byte { return heartbeatPkt }
+
+// appendDirect and appendAnycast frame into caller scratch: the Process
+// send paths reuse one buffer per process (see Process.sendBuf).
+func appendDirect(b, payload []byte) []byte {
 	b = wire.AppendU8(b, kindDirect)
 	return wire.AppendBytes(b, payload)
 }
 
-func encodeAnycast(group string, payload []byte) []byte {
-	b := make([]byte, 0, 16+len(group)+len(payload))
+func appendAnycast(b []byte, group string, payload []byte) []byte {
 	b = wire.AppendU8(b, kindAnycast)
 	b = wire.AppendString(b, group)
 	return wire.AppendBytes(b, payload)
 }
 
 func encodeMcast(m *msgMcast) []byte {
-	b := make([]byte, 0, 48+len(m.group)+len(m.payload))
+	return appendMcast(make([]byte, 0, 48+len(m.group)+len(m.payload)), m)
+}
+
+// appendMcast is encodeMcast's append-into-scratch form for the multicast
+// send and retransmission paths, which run once per reliable message.
+func appendMcast(b []byte, m *msgMcast) []byte {
 	b = wire.AppendU8(b, kindMcast)
 	b = wire.AppendString(b, m.group)
 	b = appendViewID(b, m.view)

@@ -12,6 +12,7 @@ package mpeg
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/wire"
@@ -60,6 +61,9 @@ type Movie struct {
 	fps    int
 	frames []FrameInfo
 	total  int64 // sum of frame sizes
+
+	pktMu sync.Mutex
+	pkts  map[byte]*PacketTable // lazily built, keyed by channel prefix
 }
 
 // Generate synthesizes a movie with the given ID and stream parameters.
@@ -179,6 +183,71 @@ func (m *Movie) AppendFrameData(b []byte, i int) []byte {
 		data[j] = byte(i + j)
 	}
 	return b
+}
+
+// PacketTable holds every frame of one movie as a fully framed, ready-to-send
+// datagram — a transport channel prefix byte followed by the wire-encoded
+// Frame message — packed back to back in a single contiguous arena. The table
+// is immutable once built; all sessions streaming the movie share it, so N
+// concurrent viewers of one title cost one table, not N per-session frame
+// buffers, and senders ship table slices over a no-copy stable-send path.
+type PacketTable struct {
+	arena []byte
+	offs  []int // offs[i]..offs[i+1] bounds packet i; len(offs) = frames+1
+}
+
+// Packet returns the framed datagram for frame i. The slice aliases the
+// shared arena and must never be written to; its capacity is clipped so even
+// an append cannot reach the next packet.
+func (t *PacketTable) Packet(i int) []byte {
+	return t.arena[t.offs[i]:t.offs[i+1]:t.offs[i+1]]
+}
+
+// WireSize returns the size of frame i's encoded Frame message, excluding
+// the one-byte channel prefix — the number a per-message sender would have
+// counted before handing the message to the mux.
+func (t *PacketTable) WireSize(i int) int {
+	return t.offs[i+1] - t.offs[i] - 1
+}
+
+// Bytes returns the arena footprint, for capacity accounting in tests.
+func (t *PacketTable) Bytes() int { return len(t.arena) }
+
+// Packets returns the movie's shared table of preframed datagrams for the
+// given channel prefix byte, building it on first use. Each entry is
+// byte-identical to what a per-session encoder would produce: prefix, then
+// AppendMessage of a Frame{Movie, Index, Class, Payload} with the synthetic
+// payload from AppendFrameData.
+func (m *Movie) Packets(prefix byte) *PacketTable {
+	m.pktMu.Lock()
+	defer m.pktMu.Unlock()
+	if t, ok := m.pkts[prefix]; ok {
+		return t
+	}
+	n := len(m.frames)
+	// Per-frame overhead: prefix, kind, movie-ID length prefix + bytes,
+	// index, class, payload length prefix.
+	per := 1 + 1 + 2 + len(m.id) + 4 + 1 + 4
+	arena := make([]byte, 0, int(m.total)+n*per)
+	offs := make([]int, n+1)
+	f := wire.Frame{Movie: m.id}
+	var payload []byte
+	for i := 0; i < n; i++ {
+		offs[i] = len(arena)
+		arena = append(arena, prefix)
+		payload = m.AppendFrameData(payload[:0], i)
+		f.Index = uint32(i)
+		f.Class = m.frames[i].Class
+		f.Payload = payload
+		arena = wire.AppendMessage(arena, &f)
+	}
+	offs[n] = len(arena)
+	t := &PacketTable{arena: arena, offs: offs}
+	if m.pkts == nil {
+		m.pkts = make(map[byte]*PacketTable, 1)
+	}
+	m.pkts[prefix] = t
+	return t
 }
 
 // PrevIFrame returns the largest I-frame index ≤ i. Random access lands on

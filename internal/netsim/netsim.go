@@ -79,13 +79,21 @@ type Network struct {
 	overrides map[pair]Profile
 	nodes     map[transport.Addr]*endpoint
 	blocked   map[pair]bool
-	links     map[pair]*linkState
+	links     map[pair]linkState
 	egress    map[transport.Addr]int64 // shared NIC rate, bytes/s (0 = none)
-	egressQ   map[transport.Addr]*linkState
-	extraLoss float64   // network-wide additional drop probability (loss burst)
-	freeD     *delivery // free list of delivery events (packet buffer pool)
-	sweepIn   int       // sends until the next stale-link sweep
-	stats     Stats
+	egressQ   map[transport.Addr]linkState
+	extraLoss float64 // network-wide additional drop probability (loss burst)
+	// Free lists of delivery events (the packet buffer pool), segregated
+	// by buffer size class: a mixed list keeps handing records that last
+	// carried a tiny control packet to full video frames, reallocating the
+	// copy buffer almost every send. Records whose buffer grew to at least
+	// bigBufSize go on freeDBig and are reissued to large payloads.
+	freeD    *delivery
+	freeDBig *delivery
+	slabD    []delivery // current slab new records are carved from
+	slabDN   int        // records already carved from slabD
+	sweepIn  int        // sends until the next stale-link sweep
+	stats    Stats
 
 	obs      *obs.Registry
 	ctrSent  *obs.Counter // netsim.sent
@@ -112,9 +120,9 @@ func New(clk clock.Clock, seed int64, def Profile) *Network {
 		overrides: make(map[pair]Profile),
 		nodes:     make(map[transport.Addr]*endpoint),
 		blocked:   make(map[pair]bool),
-		links:     make(map[pair]*linkState),
+		links:     make(map[pair]linkState),
 		egress:    make(map[transport.Addr]int64),
-		egressQ:   make(map[transport.Addr]*linkState),
+		egressQ:   make(map[transport.Addr]linkState),
 	}
 	n.SetObs(nil)
 	return n
@@ -284,7 +292,11 @@ func (n *Network) Stats() Stats {
 }
 
 // send is called by endpoints with the sender's address already validated.
-func (n *Network) send(from, to transport.Addr, payload []byte) error {
+// When stable is true the payload is caller-guaranteed immutable and the
+// delivery aliases it instead of copying; the loss/duplication/timing path is
+// identical either way (same RNG draws, same serialization on len(payload)),
+// so a run using stable sends replays byte-for-byte like one that copies.
+func (n *Network) send(from, to transport.Addr, payload []byte, stable bool) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 
@@ -326,8 +338,9 @@ func (n *Network) send(from, to transport.Addr, payload []byte) error {
 		// The sender may reuse its buffer after Send returns, as with UDP
 		// (the kernel copies); copy into a pooled delivery event before
 		// scheduling. Each duplicate gets its own buffer so the handlers
-		// never share backing storage.
-		d := n.newDeliveryLocked(from, to, payload)
+		// never share backing storage. Stable payloads skip the copy:
+		// immutable buffers are safe to share even between duplicates.
+		d := n.newDeliveryLocked(from, to, payload, stable)
 		delay := n.transitTimeLocked(from, to, prof, len(payload))
 		clock.Schedule(n.clk, delay, d.fn)
 	}
@@ -343,34 +356,82 @@ func (n *Network) send(from, to transport.Addr, payload []byte) error {
 type delivery struct {
 	n        *Network
 	from, to transport.Addr
-	data     []byte
+	data     []byte    // what the handler receives: either buf or a stable alias
+	buf      []byte    // pool-owned copy buffer, reused across packets
 	fn       func()    // d.run, bound once: a method value allocates per use
 	next     *delivery // free-list link
 }
 
-// newDeliveryLocked takes a delivery off the free list (or allocates one)
-// and loads it with a copy of payload. Caller holds n.mu.
-func (n *Network) newDeliveryLocked(from, to transport.Addr, payload []byte) *delivery {
-	d := n.freeD
+// deliverySlabSize is how many delivery records one slab allocation carves
+// out. Peak in-flight packet count during a capacity run is a few thousand,
+// so cold start costs tens of slab allocations instead of thousands of
+// individual ones.
+const deliverySlabSize = 128
+
+// newDeliveryLocked takes a delivery off the free list (or carves one from
+// the current slab) and loads it with the payload: a copy into the record's
+// own buffer normally, or a direct alias when the caller guaranteed the
+// payload immutable. Caller holds n.mu.
+func (n *Network) newDeliveryLocked(from, to transport.Addr, payload []byte, stable bool) *delivery {
+	list := &n.freeD
+	if !stable && len(payload) > smallBufMax {
+		list = &n.freeDBig
+	}
+	d := *list
 	if d != nil {
-		n.freeD = d.next
+		*list = d.next
 		d.next = nil
 	} else {
-		d = &delivery{n: n}
+		if n.slabDN == len(n.slabD) {
+			n.slabD = make([]delivery, deliverySlabSize)
+			n.slabDN = 0
+		}
+		d = &n.slabD[n.slabDN]
+		n.slabDN++
+		d.n = n
 		d.fn = d.run
 	}
 	d.from, d.to = from, to
-	d.data = append(d.data[:0], payload...)
+	if stable {
+		d.data = payload
+	} else {
+		if cap(d.buf) < len(payload) {
+			// Recycled records carry whatever buffer their last occupant
+			// grew; round fresh growth to a power of two so a record
+			// converges on its size class's maximum instead of
+			// reallocating every time a slightly larger packet lands.
+			size := 64
+			for size < len(payload) {
+				size <<= 1
+			}
+			d.buf = make([]byte, 0, size)
+		}
+		d.buf = append(d.buf[:0], payload...)
+		d.data = d.buf
+	}
 	return d
 }
 
-// recycleLocked returns a delivery (and its buffer) to the pool. Caller
-// holds n.mu; the delivery's timer must have fired already.
+// smallBufMax splits the delivery pool's size classes: GCS control traffic
+// (heartbeats, acks, flow control) stays well under it, while framed video
+// packets exceed it.
+const smallBufMax = 512
+
+// recycleLocked returns a delivery to the pool. data is always dropped — it
+// may alias a caller's immutable table, which the pool must never write to —
+// while buf (always pool-owned) keeps its capacity warm for the next copy.
+// Caller holds n.mu; the delivery's timer must have fired already.
 func (d *delivery) recycleLocked() {
 	n := d.n
 	d.from, d.to = "", ""
-	d.next = n.freeD
-	n.freeD = d
+	d.data = nil
+	if cap(d.buf) > smallBufMax {
+		d.next = n.freeDBig
+		n.freeDBig = d
+	} else {
+		d.next = n.freeD
+		n.freeD = d
+	}
 }
 
 // run fires when the packet arrives: hand the payload to the destination
@@ -411,11 +472,7 @@ func (n *Network) transitTimeLocked(from, to transport.Addr, prof Profile, size 
 		delay += time.Duration(n.rng.Int63n(int64(prof.Jitter)))
 	}
 	if rate := n.egress[from]; rate > 0 {
-		eq := n.egressQ[from]
-		if eq == nil {
-			eq = &linkState{}
-			n.egressQ[from] = eq
-		}
+		eq := n.egressQ[from] // zero value = drained link, same as absent
 		now := n.clk.Now()
 		start := now
 		if eq.nextFree.After(start) {
@@ -423,15 +480,12 @@ func (n *Network) transitTimeLocked(from, to transport.Addr, prof Profile, size 
 		}
 		ser := time.Duration(int64(size) * int64(time.Second) / rate)
 		eq.nextFree = start.Add(ser)
+		n.egressQ[from] = eq
 		delay += eq.nextFree.Sub(now)
 	}
 	if prof.Bandwidth > 0 {
 		key := pair{from, to}
-		ls := n.links[key]
-		if ls == nil {
-			ls = &linkState{}
-			n.links[key] = ls
-		}
+		ls := n.links[key] // zero value = drained link, same as absent
 		now := n.clk.Now()
 		start := now
 		if ls.nextFree.After(start) {
@@ -439,6 +493,7 @@ func (n *Network) transitTimeLocked(from, to transport.Addr, prof Profile, size 
 		}
 		ser := time.Duration(int64(size) * int64(time.Second) / prof.Bandwidth)
 		ls.nextFree = start.Add(ser)
+		n.links[key] = ls
 		delay += ls.nextFree.Sub(now)
 	}
 	return delay
@@ -483,11 +538,26 @@ type endpoint struct {
 	closed  bool
 }
 
-var _ transport.Endpoint = (*endpoint)(nil)
+var (
+	_ transport.Endpoint     = (*endpoint)(nil)
+	_ transport.StableSender = (*endpoint)(nil)
+)
 
 func (e *endpoint) Addr() transport.Addr { return e.addr }
 
 func (e *endpoint) Send(to transport.Addr, payload []byte) error {
+	return e.send(to, payload, false)
+}
+
+// SendStable implements transport.StableSender: the payload must never be
+// mutated again, and in exchange the network neither copies it on send nor
+// on duplication — the receiving handler gets the caller's backing array.
+// Drop, duplication and timing behavior are identical to Send.
+func (e *endpoint) SendStable(to transport.Addr, payload []byte) error {
+	return e.send(to, payload, true)
+}
+
+func (e *endpoint) send(to transport.Addr, payload []byte, stable bool) error {
 	if len(payload) > transport.MaxDatagram {
 		return fmt.Errorf("netsim: send to %s: %w", to, transport.ErrTooLarge)
 	}
@@ -497,7 +567,7 @@ func (e *endpoint) Send(to transport.Addr, payload []byte) error {
 	if closed {
 		return transport.ErrClosed
 	}
-	return e.net.send(e.addr, to, payload)
+	return e.net.send(e.addr, to, payload, stable)
 }
 
 func (e *endpoint) SetHandler(h transport.Handler) {
@@ -519,8 +589,8 @@ func (e *endpoint) Close() error {
 func (n *Network) EgressBacklog(addr transport.Addr) time.Duration {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	eq := n.egressQ[addr]
-	if eq == nil {
+	eq, ok := n.egressQ[addr]
+	if !ok {
 		return 0
 	}
 	d := eq.nextFree.Sub(n.clk.Now())

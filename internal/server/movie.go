@@ -153,6 +153,7 @@ func (ms *movieState) resolveDuplicateLocked(from gcs.ProcessID, rec wire.Client
 	}
 	sess.stopLocked()
 	delete(ms.srv.sessions, rec.ClientID)
+	ms.srv.recycleSessionLocked(sess)
 	ms.srv.noteSessionsLocked()
 	ms.srv.stats.Releases++
 	ms.srv.ctr.releases.Inc()
@@ -294,6 +295,7 @@ func (ms *movieState) redistributeLocked() {
 		case owner != gcs.ProcessID(s.cfg.ID) && mine:
 			sess.stopLocked()
 			delete(s.sessions, id)
+			s.recycleSessionLocked(sess)
 			s.noteSessionsLocked()
 			s.stats.Releases++
 			s.ctr.releases.Inc()

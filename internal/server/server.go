@@ -127,6 +127,14 @@ type Server struct {
 	mux  *transport.Mux
 	proc *gcs.Process
 	vid  transport.Endpoint
+	// vidPre is vid's preframed fast path (non-nil for mux channels, i.e.
+	// always in practice): sessions send shared packet-table slices through
+	// it without any per-frame build or copy.
+	vidPre transport.PreframedSender
+	// atCapacityMsg is the admission-refusal error, formatted once instead
+	// of per refused Open — a refusal storm is exactly when the server is
+	// busiest.
+	atCapacityMsg string
 
 	mu          sync.Mutex
 	started     bool
@@ -191,6 +199,10 @@ func New(cfg Config) (*Server, error) {
 			syncBytes:      cfg.Obs.Counter("server.sync_bytes"),
 			activeSessions: cfg.Obs.Gauge("server.active_sessions"),
 		},
+	}
+	s.vidPre, _ = s.vid.(transport.PreframedSender)
+	if cfg.MaxSessions > 0 {
+		s.atCapacityMsg = fmt.Sprintf("server %s at capacity (%d sessions)", cfg.ID, cfg.MaxSessions)
 	}
 	return s, nil
 }
@@ -323,7 +335,9 @@ func (s *Server) Stop() {
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		s.sessions[id].stopLocked()
+		sess := s.sessions[id]
+		sess.stopLocked()
+		s.recycleSessionLocked(sess)
 	}
 	s.sessions = make(map[string]*session)
 	for _, ms := range s.movies {
@@ -359,27 +373,67 @@ func (s *Server) ActiveSessions() []string {
 	return out
 }
 
+// openEvent defers one decoded Open onto the clock and carries the scratch
+// for its reply. Under over-capacity load every client retries its Open on
+// a timer, so the open/refuse cycle is a steady-state hot path: the pool
+// plus the decode-into/encode-from scratch makes a warm refusal cycle
+// allocation-free on the server side.
+type openEvent struct {
+	s     *Server
+	from  gcs.ProcessID
+	open  wire.Open
+	reply wire.OpenReply
+	enc   wire.Encoder
+	fire  func() // bound once to run
+}
+
+var openEventPool sync.Pool
+
+func init() {
+	// New assigned here, not in the composite literal, so fire can refer to
+	// the pool's own element without an initialization cycle.
+	openEventPool.New = func() any {
+		e := &openEvent{}
+		e.fire = e.run
+		return e
+	}
+}
+
+func (e *openEvent) run() {
+	s := e.s
+	s.handleOpen(e)
+	e.s = nil
+	openEventPool.Put(e)
+}
+
 // onServerGroupMessage handles messages on the server group — notably the
 // Open anycasts from clients contacting the abstract VoD service.
 func (s *Server) onServerGroupMessage(_ string, from gcs.ProcessID, payload []byte) {
-	msg, err := wire.Decode(payload)
-	if err != nil {
+	if len(payload) == 0 || wire.Kind(payload[0]) != wire.KindOpen {
 		return
 	}
-	open, ok := msg.(*wire.Open)
-	if !ok {
+	e := openEventPool.Get().(*openEvent)
+	// The anycast payload aliases the transport receive buffer, so it must
+	// be decoded (copied) before the deferral; DecodeOpenInto keeps the
+	// event's previous strings when a retry resends the same values.
+	if err := wire.DecodeOpenInto(&e.open, payload); err != nil {
+		openEventPool.Put(e)
 		return
 	}
-	s.later(func() { s.handleOpen(from, open) })
+	e.s, e.from = s, from
+	s.cfg.Clock.AfterFunc(0, e.fire)
 }
 
 // handleOpen starts a session for a requesting client, or tells it to try
-// elsewhere if this server does not hold the movie.
-func (s *Server) handleOpen(from gcs.ProcessID, open *wire.Open) {
+// elsewhere if this server does not hold the movie. It runs deferred via
+// openEvent.fire; the event supplies both the decoded Open and the reply
+// scratch (safe because gcs Send copies the packet before returning).
+func (s *Server) handleOpen(e *openEvent) {
+	from, open := e.from, &e.open
 	movie, err := s.cfg.Catalog.Get(open.Movie)
 	if err != nil {
-		reply := &wire.OpenReply{OK: false, Error: err.Error(), Movie: open.Movie}
-		_ = s.proc.Send(from, wire.Encode(reply))
+		e.reply = wire.OpenReply{OK: false, Error: err.Error(), Movie: open.Movie}
+		_ = s.proc.Send(from, e.enc.Encode(&e.reply))
 		return
 	}
 
@@ -400,12 +454,12 @@ func (s *Server) handleOpen(from gcs.ProcessID, open *wire.Open) {
 	if !servedHere && !servedElsewhere &&
 		s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions {
 		s.mu.Unlock()
-		reply := &wire.OpenReply{
+		e.reply = wire.OpenReply{
 			OK:    false,
-			Error: fmt.Sprintf("server %s at capacity (%d sessions)", s.cfg.ID, s.cfg.MaxSessions),
+			Error: s.atCapacityMsg,
 			Movie: open.Movie,
 		}
-		_ = s.proc.Send(from, wire.Encode(reply))
+		_ = s.proc.Send(from, e.enc.Encode(&e.reply))
 		return
 	}
 	if servedHere || servedElsewhere {
@@ -423,16 +477,23 @@ func (s *Server) handleOpen(from gcs.ProcessID, open *wire.Open) {
 		s.cfg.Obs.Event("server.session_open", open.ClientID+" movie="+open.Movie)
 	}
 	ms := s.movies[open.Movie]
+	group := ""
+	if sess := s.sessions[open.ClientID]; sess != nil {
+		group = sess.group // precomputed at session start
+	}
 	s.mu.Unlock()
+	if group == "" { // served elsewhere: no local session to borrow from
+		group = SessionGroup(open.ClientID)
+	}
 
-	reply := &wire.OpenReply{
+	e.reply = wire.OpenReply{
 		OK:           true,
 		Movie:        open.Movie,
 		TotalFrames:  uint32(movie.TotalFrames()),
 		FPS:          uint16(movie.FPS()),
-		SessionGroup: SessionGroup(open.ClientID),
+		SessionGroup: group,
 	}
-	_ = s.proc.Send(from, wire.Encode(reply))
+	_ = s.proc.Send(from, e.enc.Encode(&e.reply))
 
 	// Tell the movie group about the new client right away, shrinking the
 	// window in which a crash would orphan it.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/clock"
@@ -15,11 +16,26 @@ import (
 // transmission state of §3–§4. The server paces frames at the client's
 // granted rate, adjusts the rate on flow-control requests, applies the
 // emergency boost, and executes VCR operations.
+//
+// Session records are pooled process-wide: a chaos restart or takeover wave
+// that tears down and recreates hundreds of sessions reuses retired records
+// instead of reallocating them. Two rules make that safe. First, no callback
+// that can fire after stopLocked captures a *session — deferred work holds
+// (clientID, gen) and looks the session up, so a record handed to a new
+// incarnation is unreachable from its old life. Second, gen increments on
+// every reuse, so a callback from a previous incarnation that finds a
+// recycled record under the same client ID bails out on the mismatch.
 type session struct {
 	srv   *Server
+	gen   uint64            // incarnation counter; guards deferred callbacks
 	rec   wire.ClientRecord // live state; rec.Offset is the next frame to send
 	movie *mpeg.Movie
 	rate  *flowctl.RateController
+
+	// packets is the movie's shared preframed-datagram table: one table per
+	// movie serves every concurrent viewer, replacing the per-session frame
+	// build buffers entirely.
+	packets *mpeg.PacketTable
 
 	member *gcs.Member // session-group membership, set once joined
 	ready  bool        // the session view includes the client; streaming may start
@@ -36,32 +52,64 @@ type session struct {
 	conflicts map[gcs.ProcessID]bool
 
 	sendTimer clock.Timer
-	sendOneFn func() // sess.sendOne, bound once: a method value allocates per use
+	sendOneFn func() // sess.sendOne, bound once per record: survives pooling
+	joinFn    func() // per-incarnation join closure, reused by retries
+	joinTimer clock.Timer
 	decayTask *clock.Periodic
 	joinTries int
 
-	// Per-session reusable state for the frame hot path: with these warm,
-	// transmitting a frame performs zero heap allocations. frame and the
-	// buffers are only touched under srv.mu.
-	frame      wire.Frame   // reused message header for every outgoing frame
-	payloadBuf []byte       // scratch for the synthetic frame payload
-	enc        wire.Encoder // scratch for the encoded datagram
+	// group and the two handler closures are built once per incarnation in
+	// startSessionLocked and reused by every join retry, which would
+	// otherwise rebuild them on each attempt.
+	group    string
+	onViewFn func(gcs.View)
+	onMsgFn  func(string, gcs.ProcessID, []byte)
+
+	// fc is the reusable decode target for this client's flow-control
+	// stream, guarded by srv.mu. Preserved across pooling so the keep-string
+	// decode reuses the client-ID allocation for the session's lifetime.
+	fc wire.FlowControl
 }
+
+// sessionPool recycles session records across incarnations — including
+// across Server instances, so a restarted server reuses the records its
+// previous incarnation retired. Records are only Put once nothing can reach
+// them anymore (timers released, callbacks lookup-based); contents are fully
+// reinitialized on reuse, so pool handout order cannot influence simulation
+// behavior.
+var sessionPool = sync.Pool{New: func() any { return new(session) }}
 
 // startSessionLocked creates the session and begins joining the client's
 // session group. Transmission starts once the group view shows the client
 // — the "two-way connection" of §3 — so the client's control multicasts
 // are guaranteed to reach us from the first frame on. Caller holds srv.mu.
 func (s *Server) startSessionLocked(rec wire.ClientRecord, movie *mpeg.Movie, takeover bool) *session {
-	rate := flowctl.NewRateController(s.cfg.Flow)
-	rate.SetBase(int(rec.Rate))
-	sess := &session{
-		srv:   s,
-		rec:   rec,
-		movie: movie,
-		rate:  rate,
+	sess := sessionPool.Get().(*session)
+	gen := sess.gen + 1
+	rate, conflicts, sendOneFn, fc := sess.rate, sess.conflicts, sess.sendOneFn, sess.fc
+	clear(conflicts)
+	*sess = session{
+		srv:       s,
+		gen:       gen,
+		rec:       rec,
+		movie:     movie,
+		rate:      rate,
+		conflicts: conflicts,
+		sendOneFn: sendOneFn,
+		fc:        fc,
 	}
-	sess.sendOneFn = sess.sendOne
+	if sess.rate == nil {
+		sess.rate = flowctl.NewRateController(s.cfg.Flow)
+	} else {
+		sess.rate.Reset(s.cfg.Flow)
+	}
+	sess.rate.SetBase(int(rec.Rate))
+	if sess.sendOneFn == nil {
+		sess.sendOneFn = sess.sendOne
+	}
+	if s.vidPre != nil {
+		sess.packets = movie.Packets(s.vidPre.Preframe())
+	}
 	if takeover {
 		// Resuming at a stale offset past the end means the movie ended.
 		if int(rec.Offset) >= movie.TotalFrames() {
@@ -70,54 +118,113 @@ func (s *Server) startSessionLocked(rec wire.ClientRecord, movie *mpeg.Movie, ta
 	}
 	s.sessions[rec.ClientID] = sess
 	s.noteSessionsLocked()
+	clientID := rec.ClientID
 	sess.decayTask = clock.Every(s.cfg.Clock, time.Second, func() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		if !sess.closed {
-			sess.rate.DecayTick()
+		if d := s.sessions[clientID]; d != nil && !d.closed && d.gen == gen {
+			d.rate.DecayTick()
 		}
 	})
-	s.later(sess.join)
+	sess.group = SessionGroup(clientID)
+	sess.onViewFn = func(v gcs.View) {
+		s.later(func() { s.onSessionView(clientID, gen, v) })
+	}
+	sess.onMsgFn = func(_ string, from gcs.ProcessID, payload []byte) {
+		e := ctlEventPool.Get().(*ctlEvent)
+		e.s, e.clientID, e.from, e.payload = s, clientID, from, payload
+		s.cfg.Clock.AfterFunc(0, e.fire)
+	}
+	sess.joinFn = func() { s.joinSession(clientID, gen) }
+	s.later(sess.joinFn)
 	return sess
 }
 
-// join enters the client's session group. It retries while a previous
+// ctlEvent defers one inbound session-group control message to its own
+// clock event — same scheduling as a per-message closure (one AfterFunc per
+// message, armed at receipt, so simulation event order is unchanged) but
+// with the record and its bound fire closure pooled. The payload alias is
+// safe to hold across the deferral: it points into the GCS's retained
+// message buffer, which outlives this same-instant callback by the full
+// stability interval.
+type ctlEvent struct {
+	s        *Server
+	clientID string
+	from     gcs.ProcessID
+	payload  []byte
+	fire     func() // bound once to run; survives pooling
+}
+
+var ctlEventPool sync.Pool
+
+func init() {
+	ctlEventPool.New = func() any {
+		e := new(ctlEvent)
+		e.fire = e.run
+		return e
+	}
+}
+
+func (e *ctlEvent) run() {
+	s, clientID, from, payload := e.s, e.clientID, e.from, e.payload
+	*e = ctlEvent{fire: e.fire}
+	ctlEventPool.Put(e)
+	s.handleSessionMessage(clientID, from, payload)
+}
+
+// recycleSessionLocked hands a stopped session record back to the pool.
+// Caller holds srv.mu, must have called stopLocked and removed the record
+// from s.sessions first — after that, every reference path to the record is
+// gone (timers released, deferred callbacks lookup-based).
+func (s *Server) recycleSessionLocked(sess *session) {
+	sessionPool.Put(sess)
+}
+
+// joinSession enters the client's session group. It retries while a previous
 // membership for the same client is still deactivating (a client released
-// and re-adopted in quick succession).
-func (sess *session) join() {
-	sess.srv.mu.Lock()
-	if sess.closed {
-		sess.srv.mu.Unlock()
+// and re-adopted in quick succession). Deferred invocations identify the
+// session by (clientID, gen) rather than holding the record, so a retry that
+// fires after the session was torn down — or after its record was reused —
+// is a no-op.
+func (s *Server) joinSession(clientID string, gen uint64) {
+	s.mu.Lock()
+	sess := s.sessions[clientID]
+	if sess == nil || sess.closed || sess.gen != gen {
+		s.mu.Unlock()
 		return
 	}
-	group := SessionGroup(sess.rec.ClientID)
+	if sess.joinTimer != nil {
+		// This invocation is the retry timer firing; recycle its record.
+		clock.Release(sess.joinTimer)
+		sess.joinTimer = nil
+	}
+	group := sess.group
 	contact := transport.Addr(sess.rec.ClientAddr)
-	clientID := sess.rec.ClientID
-	sess.srv.mu.Unlock()
+	joinFn := sess.joinFn
+	handlers := gcs.Handlers{OnView: sess.onViewFn, OnMessage: sess.onMsgFn}
+	s.mu.Unlock()
 
-	member, err := sess.srv.proc.Join(group, gcs.Handlers{
-		OnView: func(v gcs.View) {
-			sess.srv.later(func() { sess.onSessionView(v) })
-		},
-		OnMessage: func(_ string, from gcs.ProcessID, payload []byte) {
-			sess.srv.later(func() { sess.srv.handleSessionMessage(clientID, from, payload) })
-		},
-	}, contact)
+	member, err := s.proc.Join(group, handlers, contact)
 
-	sess.srv.mu.Lock()
-	defer sess.srv.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess = s.sessions[clientID]
+	stale := sess == nil || sess.closed || sess.gen != gen
 	if err != nil {
-		sess.joinTries++
-		if sess.closed || sess.joinTries > 50 {
+		if stale {
 			return
 		}
-		sess.srv.cfg.Clock.AfterFunc(100*time.Millisecond, sess.join)
+		sess.joinTries++
+		if sess.joinTries > 50 {
+			return
+		}
+		sess.joinTimer = s.cfg.Clock.AfterFunc(100*time.Millisecond, joinFn)
 		return
 	}
-	if sess.closed {
+	if stale {
 		// Session died while joining; undo.
 		leave := member.Leave
-		sess.srv.later(func() { _ = leave() })
+		s.later(func() { _ = leave() })
 		return
 	}
 	sess.member = member
@@ -125,10 +232,11 @@ func (sess *session) join() {
 
 // onSessionView watches for the client to appear in the session view, at
 // which point streaming starts.
-func (sess *session) onSessionView(v gcs.View) {
-	sess.srv.mu.Lock()
-	defer sess.srv.mu.Unlock()
-	if sess.closed || sess.ready {
+func (s *Server) onSessionView(clientID string, gen uint64, v gcs.View) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessions[clientID]
+	if sess == nil || sess.closed || sess.gen != gen || sess.ready {
 		return
 	}
 	if v.Includes(transport.Addr(sess.rec.ClientAddr)) {
@@ -200,21 +308,33 @@ func (sess *session) sendOne() {
 		s.mu.Unlock()
 		return
 	}
-	// Build the frame in per-session reusable buffers: header struct,
-	// payload scratch and encoder scratch all survive across frames, so a
-	// warm session allocates nothing here. The encoded packet is handed to
-	// Send while still holding s.mu — Send copies before returning (the
-	// transport contract), and no transport path re-enters the server
-	// synchronously, so the scratch is free again afterwards.
-	sess.payloadBuf = sess.movie.AppendFrameData(sess.payloadBuf[:0], idx)
-	sess.frame = wire.Frame{
+	dst := transport.Addr(sess.rec.ClientAddr)
+	if t := sess.packets; t != nil {
+		// The movie's shared packet table holds this frame fully framed
+		// (channel prefix + encoded Frame message): no payload build, no
+		// encode, and the preframed send path ships the immutable table
+		// slice without copying. VideoBytes counts the wire message as the
+		// per-session encoder did, i.e. without the one-byte mux prefix.
+		pkt := t.Packet(idx)
+		s.stats.FramesSent++
+		s.stats.VideoBytes += uint64(t.WireSize(idx))
+		s.ctr.framesSent.Inc()
+		s.ctr.videoBytes.Add(uint64(t.WireSize(idx)))
+		sess.schedulePacingLocked()
+		_ = s.vidPre.SendPreframed(dst, pkt)
+		s.mu.Unlock()
+		return
+	}
+	// Fallback for a video endpoint without preframed sends: build and
+	// encode the frame per message. Send copies before returning (the
+	// transport contract), so the buffers are free again afterwards.
+	frame := wire.Frame{
 		Movie:   sess.movie.ID(),
 		Index:   uint32(idx),
 		Class:   info.Class,
-		Payload: sess.payloadBuf,
+		Payload: sess.movie.FrameData(idx),
 	}
-	pkt := sess.enc.Encode(&sess.frame)
-	dst := transport.Addr(sess.rec.ClientAddr)
+	pkt := wire.Encode(&frame)
 	s.stats.FramesSent++
 	s.stats.VideoBytes += uint64(len(pkt))
 	s.ctr.framesSent.Inc()
@@ -234,6 +354,10 @@ func (sess *session) stopLocked() {
 		clock.Release(sess.sendTimer)
 		sess.sendTimer = nil
 	}
+	if sess.joinTimer != nil {
+		clock.Release(sess.joinTimer)
+		sess.joinTimer = nil
+	}
 	if sess.decayTask != nil {
 		sess.decayTask.Stop()
 	}
@@ -245,19 +369,18 @@ func (sess *session) stopLocked() {
 // handleSessionMessage processes a client control message multicast into
 // the session group.
 func (s *Server) handleSessionMessage(clientID string, _ gcs.ProcessID, payload []byte) {
-	msg, err := wire.Decode(payload)
-	if err != nil {
-		return
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sess := s.sessions[clientID]
 	if sess == nil || sess.closed {
 		return
 	}
-	switch msg := msg.(type) {
-	case *wire.FlowControl:
-		if msg.ClientID != clientID {
+	// Flow control dominates this channel (one request per granted-rate
+	// adjustment, every client, all session long); decode it into the
+	// session's scratch so the steady state allocates nothing.
+	if len(payload) > 0 && wire.Kind(payload[0]) == wire.KindFlowControl {
+		msg := &sess.fc
+		if err := wire.DecodeFlowControlInto(msg, payload); err != nil || msg.ClientID != clientID {
 			return
 		}
 		wasActive := sess.rate.EmergencyActive()
@@ -268,11 +391,14 @@ func (s *Server) handleSessionMessage(clientID string, _ gcs.ProcessID, payload 
 			s.cfg.Obs.Event("server.emergency_boost", clientID)
 		}
 		sess.rec.Rate = uint16(sess.rate.Base())
-	case *wire.VCR:
-		if msg.ClientID != clientID {
-			return
-		}
-		s.handleVCRLocked(sess, msg)
+		return
+	}
+	msg, err := wire.Decode(payload)
+	if err != nil {
+		return
+	}
+	if vcr, ok := msg.(*wire.VCR); ok && vcr.ClientID == clientID {
+		s.handleVCRLocked(sess, vcr)
 	}
 }
 
@@ -318,6 +444,7 @@ func (s *Server) handleVCRLocked(sess *session, msg *wire.VCR) {
 		}
 		sess.stopLocked()
 		delete(s.sessions, sess.rec.ClientID)
+		s.recycleSessionLocked(sess)
 		s.noteSessionsLocked()
 	}
 }

@@ -66,6 +66,60 @@ type capacityResult struct {
 	worstFreeze      uint64
 }
 
+// viewerSet is the trial's per-viewer bookkeeping in struct-of-arrays
+// layout: the live clients in one dense slice, and the per-viewer counters
+// gathered into parallel columns at harvest time. Classification then scans
+// three flat uint64 columns instead of chasing a thousand client pointers
+// (each behind a mutex) per predicate, and the columns are reused across a
+// sweep's load points via reset.
+type viewerSet struct {
+	clients   []*client.Client
+	displayed []uint64
+	stalls    []uint64
+	maxStall  []uint64
+}
+
+func (vs *viewerSet) reset() {
+	vs.clients = vs.clients[:0]
+	vs.displayed = vs.displayed[:0]
+	vs.stalls = vs.stalls[:0]
+	vs.maxStall = vs.maxStall[:0]
+}
+
+// harvest snapshots every viewer's counters into the columns — one locked
+// read per client, after which the classification passes touch only the
+// arrays.
+func (vs *viewerSet) harvest() {
+	for _, c := range vs.clients {
+		cnt := c.Counters()
+		vs.displayed = append(vs.displayed, cnt.Displayed)
+		vs.stalls = append(vs.stalls, cnt.Stalls)
+		vs.maxStall = append(vs.maxStall, cnt.MaxStallRun)
+	}
+}
+
+// classify buckets the harvested viewers against the expected frame count.
+func (vs *viewerSet) classify(expected uint64) capacityResult {
+	var res capacityResult
+	var healthyStalls uint64
+	for i, shown := range vs.displayed {
+		switch {
+		case shown >= expected*8/10:
+			res.healthy++
+			healthyStalls += vs.stalls[i]
+		case shown < expected/2:
+			res.starved++
+		}
+		if vs.maxStall[i] > res.worstFreeze {
+			res.worstFreeze = vs.maxStall[i]
+		}
+	}
+	if res.healthy > 0 {
+		res.stallsPerHealthy = float64(healthyStalls) / float64(res.healthy)
+	}
+	return res
+}
+
 // capacityTrial runs n viewers against one egress-limited server for a
 // 30-second movie and classifies each viewer's playback quality against
 // what a healthy session would have displayed.
@@ -94,7 +148,13 @@ func capacityTrial(seed int64, n, maxSessions int) capacityResult {
 	}
 	clk.Advance(500 * time.Millisecond)
 
-	viewers := make([]*client.Client, 0, n)
+	var vs viewerSet
+	vs.reset()
+	defer func() {
+		for _, c := range vs.clients {
+			c.Close()
+		}
+	}()
 	for i := 0; i < n; i++ {
 		c, err := client.New(client.Config{
 			ID:      fmt.Sprintf("viewer-%03d", i),
@@ -105,34 +165,17 @@ func capacityTrial(seed int64, n, maxSessions int) capacityResult {
 		if err != nil {
 			panic(err)
 		}
-		defer c.Close()
 		if err := c.Watch("feature"); err != nil {
+			c.Close()
 			panic(err)
 		}
-		viewers = append(viewers, c)
+		vs.clients = append(vs.clients, c)
 		clk.Advance(50 * time.Millisecond) // staggered arrivals
 	}
 	watch := 28 * time.Second
 	clk.Advance(watch)
 
 	expected := uint64(watch/time.Second) * 30 * 9 / 10 // minus startup slack
-	var res capacityResult
-	var healthyStalls uint64
-	for _, c := range viewers {
-		cnt := c.Counters()
-		switch {
-		case cnt.Displayed >= expected*8/10:
-			res.healthy++
-			healthyStalls += cnt.Stalls
-		case cnt.Displayed < expected/2:
-			res.starved++
-		}
-		if cnt.MaxStallRun > res.worstFreeze {
-			res.worstFreeze = cnt.MaxStallRun
-		}
-	}
-	if res.healthy > 0 {
-		res.stallsPerHealthy = float64(healthyStalls) / float64(res.healthy)
-	}
-	return res
+	vs.harvest()
+	return vs.classify(expected)
 }

@@ -112,6 +112,27 @@ func (c *muxChannel) Send(to Addr, payload []byte) error {
 	return c.mux.ep.Send(to, framed)
 }
 
+// Preframe implements PreframedSender.
+func (c *muxChannel) Preframe() byte { return byte(c.id) }
+
+// SendPreframed implements PreframedSender: payload must already start with
+// this channel's ID byte and be immutable for the process lifetime. When the
+// underlying endpoint offers a StableSender fast path the buffer is shipped
+// without any copy; otherwise it degrades to a plain Send of the preframed
+// bytes (the wire layout is identical either way).
+func (c *muxChannel) SendPreframed(to Addr, payload []byte) error {
+	if len(payload) == 0 || payload[0] != byte(c.id) {
+		return fmt.Errorf("channel %d to %s: preframed payload does not carry this channel's prefix", c.id, to)
+	}
+	if len(payload) > MaxDatagram {
+		return fmt.Errorf("channel %d to %s: %w", c.id, to, ErrTooLarge)
+	}
+	if s, ok := c.mux.ep.(StableSender); ok {
+		return s.SendStable(to, payload)
+	}
+	return c.mux.ep.Send(to, payload)
+}
+
 func (c *muxChannel) SetHandler(h Handler) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -43,6 +43,34 @@ type Endpoint interface {
 	Close() error
 }
 
+// StableSender is an optional Endpoint extension for payloads the caller
+// guarantees are immutable for the rest of the process lifetime, such as
+// precomputed frame tables shared by every viewer of a movie. Implementations
+// may alias the payload indefinitely instead of copying it — the simulated
+// network delivers the very same backing array to receiving handlers — so
+// neither the sender nor any receiver may ever write through it. Endpoints
+// without a no-copy path simply don't implement the interface; callers fall
+// back to Send, which is always correct.
+type StableSender interface {
+	SendStable(to Addr, payload []byte) error
+}
+
+// PreframedSender is implemented by mux channels: SendPreframed transmits a
+// payload whose first byte is already this channel's ID — the layout produced
+// by framing a message with the channel's Preframe byte at build time — so no
+// copy is needed to add the prefix and the underlying endpoint's StableSender
+// path (when present) ships the caller's immutable buffer directly.
+type PreframedSender interface {
+	// Preframe returns the one-byte prefix a preframed payload must start
+	// with.
+	Preframe() byte
+
+	// SendPreframed sends a payload that already begins with Preframe().
+	// The payload must be immutable for the process lifetime, exactly as
+	// for StableSender.SendStable.
+	SendPreframed(to Addr, payload []byte) error
+}
+
 // Network creates endpoints. The simulated implementation wires them to a
 // shared topology; tests use it to build whole clusters in-process.
 type Network interface {

@@ -55,6 +55,76 @@ func DecodeFrameInto(f *Frame, b []byte) error {
 	return nil
 }
 
+// DecodeFlowControlInto parses a framed KindFlowControl message into *m
+// without allocating in steady state: m.ClientID is kept as-is when the
+// bytes on the wire match it, so a server decoding the flow-control stream
+// of one client into per-session scratch reuses the same string for the
+// whole session.
+func DecodeFlowControlInto(m *FlowControl, b []byte) error {
+	r := Reader{b: b}
+	if k := Kind(r.U8()); r.err == nil && k != KindFlowControl {
+		return fmt.Errorf("wire: decoding FlowControl: unexpected kind %v", k)
+	}
+	id := r.StringBytes()
+	if string(id) != m.ClientID { // allocation-free comparison
+		m.ClientID = string(id)
+	}
+	m.Request = FlowKind(r.U8())
+	m.Occupancy = r.U16()
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("wire: decoding FlowControl: %w", err)
+	}
+	return nil
+}
+
+// keepString stores b as a string in *dst, reusing the existing string when
+// the bytes already match. The comparison compiles allocation-free, so the
+// conversion (and its allocation) only runs when the value actually changed —
+// the idiom shared by the Decode*Into family for fields that are stable
+// across a session (client IDs, movie names, group names).
+func keepString(dst *string, b []byte) {
+	if string(b) != *dst {
+		*dst = string(b)
+	}
+}
+
+// DecodeOpenInto parses a framed KindOpen message into *m. All three fields
+// are strings that a retrying client resends verbatim, so decoding into a
+// pooled scratch Open is allocation-free for every retry after the first.
+func DecodeOpenInto(m *Open, b []byte) error {
+	r := Reader{b: b}
+	if k := Kind(r.U8()); r.err == nil && k != KindOpen {
+		return fmt.Errorf("wire: decoding Open: unexpected kind %v", k)
+	}
+	keepString(&m.ClientID, r.StringBytes())
+	keepString(&m.ClientAddr, r.StringBytes())
+	keepString(&m.Movie, r.StringBytes())
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("wire: decoding Open: %w", err)
+	}
+	return nil
+}
+
+// DecodeOpenReplyInto parses a framed KindOpenReply message into *m. A
+// client cycling through refusing servers receives the same at-capacity
+// reply over and over; decoding into scratch makes each one free.
+func DecodeOpenReplyInto(m *OpenReply, b []byte) error {
+	r := Reader{b: b}
+	if k := Kind(r.U8()); r.err == nil && k != KindOpenReply {
+		return fmt.Errorf("wire: decoding OpenReply: unexpected kind %v", k)
+	}
+	m.OK = r.Bool()
+	keepString(&m.Error, r.StringBytes())
+	keepString(&m.Movie, r.StringBytes())
+	m.TotalFrames = r.U32()
+	m.FPS = r.U16()
+	keepString(&m.SessionGroup, r.StringBytes())
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("wire: decoding OpenReply: %w", err)
+	}
+	return nil
+}
+
 // StringBytes consumes a 16-bit length prefix and returns the raw string
 // bytes, aliasing the underlying buffer. It is the no-copy twin of String
 // for decoders that compare (or intern) before converting.
