@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-short race bench bench-json bench-smoke bench-capacity chaos sweep figures tables examples vet
+.PHONY: test test-short race bench bench-json bench-smoke bench-capacity chaos sweep figures tables examples vet fuzz-smoke
 
 test:        ## full test suite (includes ~20s of real-clock tests)
 	go test ./...
@@ -33,6 +33,7 @@ bench-capacity: ## capacity-scale benchmark; fails if B/op exceeds the checked-i
 chaos:       ## seeded fault schedules + invariant checks, race-clean
 	go test -race -short -run 'Chaos|Monkey|Sweep' ./...
 	go run ./cmd/vodbench -chaos -runs 50
+	go run ./cmd/vodbench -classes -runs 24
 
 sweep:       ## 120-seed chaos sweep across all cores (wall-time budgeted)
 	timeout 300 go run ./cmd/vodbench -chaos -runs 120
@@ -46,6 +47,10 @@ tables:      ## regenerate every evaluation table
 examples:    ## run all simulated examples
 	for e in quickstart failover loadbalance vcr discovery hacounter; do \
 		echo "== $$e =="; go run ./examples/$$e; done
+
+fuzz-smoke:  ## short fuzz pass over the wire decoders (one -fuzz per run)
+	go test -run='^$$' -fuzz='^FuzzDecodeMessage$$' -fuzztime=10s ./internal/wire
+	go test -run='^$$' -fuzz='^FuzzDecodeOpenInto$$' -fuzztime=10s ./internal/wire
 
 vet:
 	go vet ./...

@@ -180,10 +180,26 @@ func BenchmarkAblationQoS(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	bestEffort, _ := strconv.Atoi(t.Rows[0][1])
-	reserved, _ := strconv.Atoi(t.Rows[1][1])
+	bestEffort, _ := strconv.Atoi(t.Rows[0][2])
+	reserved, _ := strconv.Atoi(t.Rows[1][2])
 	b.ReportMetric(float64(bestEffort), "skipped-best-effort")
 	b.ReportMetric(float64(reserved), "skipped-reserved")
+}
+
+// BenchmarkAblationOverload regenerates the traffic-class overload trial:
+// a flash crowd of best-effort viewers on one title while the server runs
+// the degrade-before-refuse ladder (shaper + quality shedding + admission
+// refusals). The metrics pin the class guarantees: reserved viewers stall
+// zero times while best-effort load is degraded, shed, and refused.
+func BenchmarkAblationOverload(b *testing.B) {
+	var res sim.OverloadResult
+	for i := 0; i < b.N; i++ {
+		res = sim.OverloadTrial(sim.OverloadConfig{Seed: int64(i + 1)})
+	}
+	b.ReportMetric(float64(res.Reserved.Stalls), "reserved-stalls")
+	b.ReportMetric(float64(res.Stats.DegradedFrames), "degraded-frames")
+	b.ReportMetric(float64(res.Stats.ShedTokens), "shed-tokens")
+	b.ReportMetric(float64(res.Stats.RefusalsBestEffort), "refused-best-effort")
 }
 
 // BenchmarkAblationCapacity regenerates the viewers-per-server saturation

@@ -11,6 +11,7 @@
 //	vodbench -seed 7          # change the simulation seed
 //	vodbench -chaos -runs 50  # run 50 seeded fault schedules, report invariants
 //	vodbench -chaos -seed 53  # replay one schedule (e.g. a CI failure) exactly
+//	vodbench -classes -runs 24 # run seeded overload trials, check class invariants
 //	vodbench -parallel 4      # bound the sweep worker pool (default: all cores)
 //
 // Independent simulation runs — chaos seeds, table trials, the figure
@@ -64,7 +65,8 @@ func runTo(out io.Writer, args []string) error {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	stats := fs.Bool("stats", false, "dump per-node observability counters for the LAN and WAN scenarios, then exit")
 	chaosRun := fs.Bool("chaos", false, "execute seeded chaos schedules and check service invariants")
-	runs := fs.Int("runs", 1, "with -chaos: number of consecutive seeds to run, starting at -seed")
+	classesRun := fs.Bool("classes", false, "execute seeded traffic-class overload trials and check the degrade-before-refuse invariants")
+	runs := fs.Int("runs", 1, "with -chaos/-classes: number of consecutive seeds to run, starting at -seed")
 	parallel := fs.Int("parallel", 0, "worker pool for independent simulation runs — chaos seeds, table trials, figure scenarios (0 = all cores, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +88,22 @@ func runTo(out io.Writer, args []string) error {
 		if failed := chaos.FailedSeeds(reports); len(failed) > 0 {
 			fmt.Fprintf(out, "failed seeds: %v\n", failed)
 			return fmt.Errorf("%d of %d chaos schedules violated invariants (failed seeds %v)",
+				len(failed), *runs, failed)
+		}
+		return nil
+	}
+	if *classesRun {
+		reports, sum, err := chaos.SweepClasses(context.Background(), *seed, *runs, *parallel, nil,
+			func(rep *chaos.ClassReport) { rep.Write(out) })
+		if err != nil {
+			return fmt.Errorf("class sweep: %w", err)
+		}
+		if *runs > 1 {
+			fmt.Fprintf(out, "sweep: %s\n", sum)
+		}
+		if failed := chaos.FailedClassSeeds(reports); len(failed) > 0 {
+			fmt.Fprintf(out, "failed seeds: %v\n", failed)
+			return fmt.Errorf("%d of %d class trials violated invariants (failed seeds %v)",
 				len(failed), *runs, failed)
 		}
 		return nil

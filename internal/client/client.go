@@ -82,6 +82,18 @@ type Config struct {
 	OpenTimeout time.Duration
 	// OpenBackoffCap bounds the open-retry backoff (default 8s).
 	OpenBackoffCap time.Duration
+	// RefusalBackoff is the wait after the first refused Open in a cycle
+	// (default 10ms — the next server in the list may have room). Each
+	// consecutive refusal doubles the wait up to RefusalBackoffCap, with
+	// 25% seeded jitter after the first; a Retry-After hint from the
+	// server sets the floor. Refusals are answers, not timeouts, so this
+	// schedule is separate from the OpenTimeout no-reply backoff.
+	RefusalBackoff time.Duration
+	// RefusalBackoffCap bounds the refusal backoff (default 2s).
+	RefusalBackoffCap time.Duration
+	// Class is the traffic class carried on every Open (default reserved;
+	// reserved-class Opens are byte-identical to pre-class ones).
+	Class wire.Class
 	// StarveTimeout is how long playback may fail to progress (while
 	// watching, unpaused and unfinished) before the client decides its
 	// session is dead — a crashed-and-gone server, a network partition —
@@ -115,6 +127,12 @@ func (c *Config) fillDefaults() error {
 	if c.OpenBackoffCap <= 0 {
 		c.OpenBackoffCap = 8 * time.Second
 	}
+	if c.RefusalBackoff <= 0 {
+		c.RefusalBackoff = 10 * time.Millisecond
+	}
+	if c.RefusalBackoffCap <= 0 {
+		c.RefusalBackoffCap = 2 * time.Second
+	}
 	if c.StarveTimeout <= 0 {
 		c.StarveTimeout = 3 * time.Second
 	}
@@ -125,6 +143,7 @@ func (c *Config) fillDefaults() error {
 type Stats struct {
 	OpensSent       uint64 // Open anycasts (including retries)
 	OpenRetries     uint64 // the retries among them (timer-driven re-sends)
+	OpenRefusals    uint64 // OK=false OpenReplies received (admission refusals)
 	Reopens         uint64 // starvation-triggered session re-establishments
 	FlowSent        uint64 // flow-control requests multicast
 	EmergenciesSent uint64 // the emergency requests among them
@@ -183,6 +202,7 @@ type Client struct {
 	// deterministic while distinct clients desynchronize.
 	rng         *rand.Rand
 	openAttempt int  // timer-driven retries since the last reply
+	refusals    int  // consecutive refused Opens in this open cycle
 	reopening   bool // a starvation re-anycast is in flight
 	starveTask  *clock.Periodic
 	lastShown   uint64    // Displayed count at the last progress check
@@ -343,6 +363,7 @@ func (c *Client) Watch(movieID string) error {
 	c.paused = false
 	c.reopening = false
 	c.openAttempt = 0
+	c.refusals = 0
 	rejoined := c.session != nil // finished-then-rewatch: still a member
 	c.mu.Unlock()
 
@@ -449,6 +470,29 @@ func (c *Client) openDelayLocked() time.Duration {
 	return d
 }
 
+// refusalDelayLocked computes the wait after a refused Open. The first
+// refusal in a cycle waits exactly RefusalBackoff with no jitter draw (so a
+// lone refusal perturbs nothing); consecutive refusals double the wait up to
+// RefusalBackoffCap with 25% seeded jitter, and the server's Retry-After
+// hint sets the floor — the server knows its own load better than we do.
+// Caller holds c.mu.
+func (c *Client) refusalDelayLocked(hintMs uint32) time.Duration {
+	d := c.cfg.RefusalBackoff
+	for i := 0; i < c.refusals && d < c.cfg.RefusalBackoffCap; i++ {
+		d *= 2
+	}
+	if d > c.cfg.RefusalBackoffCap {
+		d = c.cfg.RefusalBackoffCap
+	}
+	if hint := time.Duration(hintMs) * time.Millisecond; d < hint {
+		d = hint
+	}
+	if c.refusals > 0 || hintMs != 0 {
+		d += time.Duration(c.rng.Int63n(int64(d)/4 + 1))
+	}
+	return d
+}
+
 // sendOpen anycasts the Open to the current bootstrap server and arms the
 // retry timer (capped exponential backoff across consecutive attempts).
 func (c *Client) sendOpen() {
@@ -474,6 +518,7 @@ func (c *Client) sendOpen() {
 		ClientID:   c.cfg.ID,
 		ClientAddr: c.cfg.ID,
 		Movie:      c.movie,
+		Class:      c.cfg.Class,
 	}
 	if c.openTimer != nil {
 		c.openTimer.Stop()
@@ -501,12 +546,16 @@ func (c *Client) onDirect(_ gcs.ProcessID, payload []byte) {
 		return
 	}
 	if !reply.OK {
-		// This server cannot serve the movie; the retry timer will try
-		// the next one. Shorten the wait.
+		// This server cannot serve the movie (or refused admission); the
+		// retry timer will try the next one, on the refusal cycle's own
+		// backoff schedule.
+		c.stats.OpenRefusals++
+		d := c.refusalDelayLocked(reply.RetryAfterMs)
+		c.refusals++
 		if c.openTimer != nil {
 			c.openTimer.Stop()
 		}
-		c.openTimer = c.cfg.Clock.AfterFunc(10*time.Millisecond, c.sendOpenFn)
+		c.openTimer = c.cfg.Clock.AfterFunc(d, c.sendOpenFn)
 		c.mu.Unlock()
 		return
 	}
@@ -518,6 +567,7 @@ func (c *Client) onDirect(_ gcs.ProcessID, payload []byte) {
 		// from wherever the partition left it.
 		c.reopening = false
 		c.openAttempt = 0
+		c.refusals = 0
 		if c.openTimer != nil {
 			c.openTimer.Stop()
 			c.openTimer = nil
@@ -540,6 +590,7 @@ func (c *Client) onDirect(_ gcs.ProcessID, payload []byte) {
 	c.totalFrames = reply.TotalFrames
 	c.fps = int(reply.FPS)
 	c.openAttempt = 0
+	c.refusals = 0
 	if c.openTimer != nil {
 		c.openTimer.Stop()
 		c.openTimer = nil
@@ -584,6 +635,7 @@ func (c *Client) starveTick() {
 	}
 	c.reopening = true
 	c.openAttempt = 0
+	c.refusals = 0
 	c.lastMoved = now // next starvation window starts fresh
 	c.stats.Reopens++
 	c.ctr.reopens.Inc()

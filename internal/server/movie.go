@@ -151,10 +151,7 @@ func (ms *movieState) resolveDuplicateLocked(from gcs.ProcessID, rec wire.Client
 		sess.conflicts[from] = true
 		return
 	}
-	sess.stopLocked()
-	delete(ms.srv.sessions, rec.ClientID)
-	ms.srv.recycleSessionLocked(sess)
-	ms.srv.noteSessionsLocked()
+	ms.srv.dropSessionLocked(sess)
 	ms.srv.stats.Releases++
 	ms.srv.ctr.releases.Inc()
 	ms.srv.cfg.Obs.Event("server.duplicate_release", rec.ClientID+" vs "+string(from))
@@ -293,10 +290,7 @@ func (ms *movieState) redistributeLocked() {
 			s.ctr.takeovers.Inc()
 			s.cfg.Obs.Event("server.takeover", id+" movie="+ms.movie.ID())
 		case owner != gcs.ProcessID(s.cfg.ID) && mine:
-			sess.stopLocked()
-			delete(s.sessions, id)
-			s.recycleSessionLocked(sess)
-			s.noteSessionsLocked()
+			s.dropSessionLocked(sess)
 			s.stats.Releases++
 			s.ctr.releases.Inc()
 		}

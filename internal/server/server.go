@@ -78,6 +78,11 @@ type Config struct {
 	// catalog are skipped; each missing movie is fetched from the first
 	// peer that has it.
 	FetchMovies []string
+	// Overload configures the class-aware overload-control subsystem
+	// (egress shaping + degrade-before-refuse admission). The zero value
+	// disables it entirely: classes are then tracked but never acted on,
+	// and the server behaves exactly as it did before classes existed.
+	Overload OverloadConfig
 	// Flow is the flow-control parameter set (DefaultParams if zero).
 	Flow flowctl.Params
 	// SyncInterval is the state-sync period on movie groups (default
@@ -91,6 +96,66 @@ type Config struct {
 	Obs *obs.Registry
 }
 
+// OverloadConfig tunes the degrade-before-refuse overload ladder. It only
+// takes effect when at least one of its levers is set; every field has a
+// sensible default so enabling a single lever is enough.
+//
+// The ladder, from mildest to harshest (reserved viewers are touched only by
+// the last rung, and takeover bypasses all of them):
+//
+//  1. shed best-effort quality: at DegradeSessions sessions, or whenever the
+//     egress bucket is under pressure, best-effort streams are thinned to
+//     DegradeFPS (I frames always pass, same as a client quality request);
+//  2. throttle best-effort frames: with ShapeRate set, a best-effort frame
+//     needs bucket tokens to leave; when the bucket is dry the frame waits
+//     and retries — stretched spacing, never a dropped offset;
+//  3. refuse best-effort Opens: at BestEffortSessions total sessions, new
+//     best-effort Opens are refused with a Retry-After hint;
+//  4. refuse reserved Opens: only at MaxSessions — truly full.
+type OverloadConfig struct {
+	// ShapeRate is the egress token-bucket refill rate in bytes/s. Zero
+	// disables shaping (rungs 1–3 can still act on session counts).
+	ShapeRate int64
+	// ShapeBurst is the bucket depth in bytes (default ShapeRate/4).
+	ShapeBurst int64
+	// BestEffortSessions is the total session count at which new
+	// best-effort Opens are refused. Zero means best-effort admits up to
+	// MaxSessions like everyone else.
+	BestEffortSessions int
+	// DegradeSessions is the total session count at which best-effort
+	// streams are thinned to DegradeFPS. Zero means thinning is driven by
+	// shaper pressure alone.
+	DegradeSessions int
+	// DegradeFPS is the thinned best-effort frame rate (default 10).
+	DegradeFPS uint16
+	// RetryAfter is the hint attached to best-effort refusals (default 1s).
+	RetryAfter time.Duration
+}
+
+// enabled reports whether any overload lever is configured.
+func (oc *OverloadConfig) enabled() bool {
+	return oc.ShapeRate > 0 || oc.BestEffortSessions > 0 || oc.DegradeSessions > 0
+}
+
+func (oc *OverloadConfig) fillDefaults() error {
+	if !oc.enabled() {
+		return nil
+	}
+	if oc.DegradeFPS == 0 {
+		oc.DegradeFPS = 10
+	}
+	if oc.RetryAfter <= 0 {
+		oc.RetryAfter = time.Second
+	}
+	if oc.ShapeRate > 0 {
+		p := flowctl.ShaperParams{Rate: oc.ShapeRate, Burst: oc.ShapeBurst}
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (c *Config) fillDefaults() error {
 	if c.ID == "" || c.Clock == nil || c.Network == nil || c.Catalog == nil {
 		return fmt.Errorf("server: ID, Clock, Network and Catalog are required")
@@ -102,6 +167,9 @@ func (c *Config) fillDefaults() error {
 		c.Flow = flowctl.DefaultParams()
 	}
 	if err := c.Flow.Validate(); err != nil {
+		return err
+	}
+	if err := c.Overload.fillDefaults(); err != nil {
 		return err
 	}
 	return nil
@@ -119,6 +187,15 @@ type Stats struct {
 	Releases       uint64 // sessions handed to another server
 	Emergencies    uint64 // emergency boosts granted
 	FramesThinned  uint64 // frames withheld by quality adjustment
+
+	// Overload-control counters (all zero unless Config.Overload is set or
+	// best-effort clients show up).
+	AdmitsReserved     uint64 // reserved-class sessions admitted via Open
+	AdmitsBestEffort   uint64 // best-effort sessions admitted via Open
+	RefusalsReserved   uint64 // reserved Opens refused (truly full)
+	RefusalsBestEffort uint64 // best-effort Opens refused (near capacity)
+	ShedTokens         uint64 // best-effort frame sends deferred by the shaper
+	DegradedFrames     uint64 // best-effort frames withheld by degrade thinning
 }
 
 // Server is one VoD server instance.
@@ -135,6 +212,16 @@ type Server struct {
 	// of per refused Open — a refusal storm is exactly when the server is
 	// busiest.
 	atCapacityMsg string
+	// beCapacityMsg is the best-effort refusal error (degrade-before-refuse
+	// rung 3); equals atCapacityMsg when no separate best-effort limit is
+	// configured.
+	beCapacityMsg string
+	// retryAfterMs is the Retry-After hint attached to best-effort
+	// refusals; zero when overload control is disabled.
+	retryAfterMs uint32
+	// shaper is the egress token bucket (nil unless Overload.ShapeRate is
+	// set). Guarded by mu, like the sessions that draw from it.
+	shaper *flowctl.Shaper
 
 	mu          sync.Mutex
 	started     bool
@@ -147,6 +234,16 @@ type Server struct {
 	fetcher     *fetch.Fetcher
 	stats       Stats
 	ctr         serverCounters
+	// classes counts live sessions per traffic class (index by classIdx).
+	classes [2]int
+}
+
+// classIdx maps a traffic class to its index in per-class arrays.
+func classIdx(c wire.Class) int {
+	if c == wire.ClassBestEffort {
+		return 1
+	}
+	return 0
 }
 
 // serverCounters mirrors Stats into the observability registry so the
@@ -163,6 +260,17 @@ type serverCounters struct {
 	syncMessages   *obs.Counter
 	syncBytes      *obs.Counter
 	activeSessions *obs.Gauge
+
+	// Per-class overload counters. Resolved from a nil registry (working
+	// but unregistered counters) when overload control is disabled, so
+	// snapshots and the obs table stay byte-identical for clusters that
+	// never use classes.
+	admitsReserved     *obs.Counter
+	admitsBestEffort   *obs.Counter
+	refusalsReserved   *obs.Counter
+	refusalsBestEffort *obs.Counter
+	shedTokens         *obs.Counter
+	degradedFrames     *obs.Counter
 }
 
 // New creates a server. Call Start to bring it online.
@@ -200,9 +308,35 @@ func New(cfg Config) (*Server, error) {
 			activeSessions: cfg.Obs.Gauge("server.active_sessions"),
 		},
 	}
+	// The per-class counters register only when overload control is on; a
+	// nil registry still hands out functioning (unregistered) counters, so
+	// the increment sites need no gating of their own.
+	oreg := cfg.Obs
+	if !cfg.Overload.enabled() {
+		oreg = nil
+	}
+	s.ctr.admitsReserved = oreg.Counter("server.admits_reserved")
+	s.ctr.admitsBestEffort = oreg.Counter("server.admits_best_effort")
+	s.ctr.refusalsReserved = oreg.Counter("server.refusals_reserved")
+	s.ctr.refusalsBestEffort = oreg.Counter("server.refusals_best_effort")
+	s.ctr.shedTokens = oreg.Counter("server.shed_tokens")
+	s.ctr.degradedFrames = oreg.Counter("server.degraded_frames")
 	s.vidPre, _ = s.vid.(transport.PreframedSender)
 	if cfg.MaxSessions > 0 {
 		s.atCapacityMsg = fmt.Sprintf("server %s at capacity (%d sessions)", cfg.ID, cfg.MaxSessions)
+	}
+	s.beCapacityMsg = s.atCapacityMsg
+	if cfg.Overload.enabled() {
+		s.retryAfterMs = uint32(cfg.Overload.RetryAfter.Milliseconds())
+		if be := cfg.Overload.BestEffortSessions; be > 0 {
+			s.beCapacityMsg = fmt.Sprintf("server %s best-effort capacity (%d sessions)", cfg.ID, be)
+		}
+		if cfg.Overload.ShapeRate > 0 {
+			s.shaper = flowctl.NewShaper(cfg.Clock.Now, flowctl.ShaperParams{
+				Rate:  cfg.Overload.ShapeRate,
+				Burst: cfg.Overload.ShapeBurst,
+			})
+		}
 	}
 	return s, nil
 }
@@ -340,6 +474,7 @@ func (s *Server) Stop() {
 		s.recycleSessionLocked(sess)
 	}
 	s.sessions = make(map[string]*session)
+	s.classes = [2]int{}
 	for _, ms := range s.movies {
 		if ms.syncTask != nil {
 			ms.syncTask.Stop()
@@ -359,6 +494,39 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// ClassSessions returns the live session count per traffic class.
+func (s *Server) ClassSessions() (reserved, bestEffort int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.classes[0], s.classes[1]
+}
+
+// degradeFPSLocked returns the quality cap to impose on best-effort streams
+// right now: nonzero when the session count has crossed the degrade rung or
+// the egress bucket is under pressure, zero when best effort runs at full
+// quality. Caller holds s.mu.
+func (s *Server) degradeFPSLocked() uint16 {
+	oc := &s.cfg.Overload
+	if ds := oc.DegradeSessions; ds > 0 && len(s.sessions) >= ds {
+		return oc.DegradeFPS
+	}
+	if s.shaper != nil && s.shaper.UnderPressure() {
+		return oc.DegradeFPS
+	}
+	return 0
+}
+
+// dropSessionLocked is the single teardown path for a live session: stop it,
+// remove it from the session table, keep the per-class census honest, and
+// recycle the record. Caller holds s.mu.
+func (s *Server) dropSessionLocked(sess *session) {
+	sess.stopLocked()
+	delete(s.sessions, sess.rec.ClientID)
+	s.classes[classIdx(sess.rec.Class)]--
+	s.recycleSessionLocked(sess)
+	s.noteSessionsLocked()
 }
 
 // ActiveSessions returns the IDs of clients this server currently serves,
@@ -451,16 +619,37 @@ func (s *Server) handleOpen(e *openEvent) {
 			servedElsewhere = true
 		}
 	}
-	if !servedHere && !servedElsewhere &&
-		s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions {
-		s.mu.Unlock()
-		e.reply = wire.OpenReply{
-			OK:    false,
-			Error: s.atCapacityMsg,
-			Movie: open.Movie,
+	if !servedHere && !servedElsewhere {
+		// Degrade-before-refuse admission ladder: best-effort Opens hit
+		// their (lower) limit first and carry a Retry-After hint; reserved
+		// Opens are refused only when the server is truly full. Takeover
+		// never comes through here and bypasses admission entirely.
+		limit := s.cfg.MaxSessions
+		msg, retry := s.atCapacityMsg, uint32(0)
+		if open.Class == wire.ClassBestEffort {
+			if be := s.cfg.Overload.BestEffortSessions; be > 0 && (limit == 0 || be < limit) {
+				limit = be
+			}
+			msg, retry = s.beCapacityMsg, s.retryAfterMs
 		}
-		_ = s.proc.Send(from, e.enc.Encode(&e.reply))
-		return
+		if limit > 0 && len(s.sessions) >= limit {
+			if open.Class == wire.ClassBestEffort {
+				s.stats.RefusalsBestEffort++
+				s.ctr.refusalsBestEffort.Inc()
+			} else {
+				s.stats.RefusalsReserved++
+				s.ctr.refusalsReserved.Inc()
+			}
+			s.mu.Unlock()
+			e.reply = wire.OpenReply{
+				OK:           false,
+				Error:        msg,
+				Movie:        open.Movie,
+				RetryAfterMs: retry,
+			}
+			_ = s.proc.Send(from, e.enc.Encode(&e.reply))
+			return
+		}
 	}
 	if servedHere || servedElsewhere {
 		// Duplicate open (client retry); just re-send the reply below.
@@ -470,10 +659,18 @@ func (s *Server) handleOpen(e *openEvent) {
 			ClientAddr: open.ClientAddr,
 			Offset:     0,
 			Rate:       uint16(movie.FPS()),
+			Class:      open.Class,
 		}
 		s.startSessionLocked(rec, movie, false)
 		s.stats.SessionsOpened++
 		s.ctr.sessionsOpened.Inc()
+		if open.Class == wire.ClassBestEffort {
+			s.stats.AdmitsBestEffort++
+			s.ctr.admitsBestEffort.Inc()
+		} else {
+			s.stats.AdmitsReserved++
+			s.ctr.admitsReserved.Inc()
+		}
 		s.cfg.Obs.Event("server.session_open", open.ClientID+" movie="+open.Movie)
 	}
 	ms := s.movies[open.Movie]

@@ -117,6 +117,7 @@ func (s *Server) startSessionLocked(rec wire.ClientRecord, movie *mpeg.Movie, ta
 		}
 	}
 	s.sessions[rec.ClientID] = sess
+	s.classes[classIdx(rec.Class)]++
 	s.noteSessionsLocked()
 	clientID := rec.ClientID
 	sess.decayTask = clock.Every(s.cfg.Clock, time.Second, func() {
@@ -245,30 +246,47 @@ func (s *Server) onSessionView(clientID string, gen uint64, v gcs.View) {
 	}
 }
 
-// schedulePacingLocked arms the next frame transmission at the current
-// rate. Caller holds srv.mu.
-func (sess *session) schedulePacingLocked() {
-	if sess.closed || !sess.ready || sess.pacing || sess.rec.Paused || sess.atEnd {
-		return
-	}
+// sendPeriodLocked returns the inter-frame pacing interval at the current
+// granted rate. Caller holds srv.mu.
+func (sess *session) sendPeriodLocked() time.Duration {
 	rate := sess.rate.Rate()
 	if rate < 1 {
 		rate = 1
 	}
+	return time.Second / time.Duration(rate)
+}
+
+// armSendLocked schedules the next sendOne after d. Caller holds srv.mu and
+// has already passed the pacing guards.
+func (sess *session) armSendLocked(d time.Duration) {
 	sess.pacing = true
 	if sess.sendTimer != nil {
 		// The previous pacing timer has fired (pacing was false); recycle
 		// its record so a streaming session reuses one event forever.
 		clock.Release(sess.sendTimer)
 	}
-	sess.sendTimer = sess.srv.cfg.Clock.AfterFunc(time.Second/time.Duration(rate), sess.sendOneFn)
+	sess.sendTimer = sess.srv.cfg.Clock.AfterFunc(d, sess.sendOneFn)
+}
+
+// schedulePacingLocked arms the next frame transmission at the current
+// rate. Caller holds srv.mu.
+func (sess *session) schedulePacingLocked() {
+	if sess.closed || !sess.ready || sess.pacing || sess.rec.Paused || sess.atEnd {
+		return
+	}
+	sess.armSendLocked(sess.sendPeriodLocked())
 }
 
 // sendOne handles one pacing tick: the stream position advances by exactly
 // one frame per tick (so the movie always plays at the granted rate in
 // movie time), and the frame is transmitted unless quality thinning
 // withholds it (§4.3: transmit all I frames and as many of the others as
-// the client's capabilities allow).
+// the client's capabilities allow). Best-effort sessions additionally pass
+// the overload ladder: degrade thinning tightens their quality cap under
+// pressure, and with a shaper configured the frame needs egress tokens —
+// a dry bucket holds the frame (offset does not advance) and retries at
+// stretched spacing, so throttling lengthens frame intervals without ever
+// skipping content.
 func (sess *session) sendOne() {
 	s := sess.srv
 	s.mu.Lock()
@@ -286,30 +304,61 @@ func (sess *session) sendOne() {
 
 	idx := int(sess.rec.Offset)
 	info := sess.movie.Frame(idx)
-	sess.rec.Offset++
 
-	send := true
+	// Thinning decision (client quality cap, tightened by the degrade rung
+	// for best-effort streams). The credit commit is deferred until the
+	// frame's fate is final, so a token-shed retry of the same frame does
+	// not double-charge the budget.
 	fps := uint16(sess.movie.FPS())
-	if quality := sess.rec.QualityFPS; quality > 0 && quality < fps {
+	quality := sess.rec.QualityFPS
+	degraded := false
+	if sess.rec.Class == wire.ClassBestEffort {
+		if dfps := s.degradeFPSLocked(); dfps > 0 && (quality == 0 || dfps < quality) {
+			quality = dfps
+			degraded = true
+		}
+	}
+	thinning := quality > 0 && quality < fps
+	if thinning && info.Class != wire.FrameI && sess.thinCredit+int(quality) < int(fps) {
+		// Withheld by quality adjustment: the position advances (the movie
+		// plays on in movie time) but nothing is transmitted.
 		sess.thinCredit += int(quality)
-		if info.Class == wire.FrameI || sess.thinCredit >= int(fps) {
-			// I frames always go out; they borrow against the budget
-			// (credit may go negative) so the total stays ≈ quality.
-			sess.thinCredit -= int(fps)
+		sess.rec.Offset++
+		if degraded {
+			s.stats.DegradedFrames++
+			s.ctr.degradedFrames.Inc()
 		} else {
-			send = false
 			s.stats.FramesThinned++
 			s.ctr.framesThinned.Inc()
 		}
-	}
-
-	if !send {
 		sess.schedulePacingLocked()
 		s.mu.Unlock()
 		return
 	}
+
 	dst := transport.Addr(sess.rec.ClientAddr)
 	if t := sess.packets; t != nil {
+		// Egress shaping: reserved sends always proceed (and may drive the
+		// bucket into bounded debt); a best-effort send needs credit.
+		if sh := s.shaper; sh != nil {
+			if sess.rec.Class == wire.ClassBestEffort {
+				if !sh.TakeBestEffort(t.WireSize(idx)) {
+					s.stats.ShedTokens++
+					s.ctr.shedTokens.Inc()
+					sess.armSendLocked(2 * sess.sendPeriodLocked())
+					s.mu.Unlock()
+					return
+				}
+			} else {
+				sh.TakeReserved(t.WireSize(idx))
+			}
+		}
+		if thinning {
+			// I frames always go out; they borrow against the budget
+			// (credit may go negative) so the total stays ≈ quality.
+			sess.thinCredit += int(quality) - int(fps)
+		}
+		sess.rec.Offset++
 		// The movie's shared packet table holds this frame fully framed
 		// (channel prefix + encoded Frame message): no payload build, no
 		// encode, and the preframed send path ships the immutable table
@@ -335,6 +384,23 @@ func (sess *session) sendOne() {
 		Payload: sess.movie.FrameData(idx),
 	}
 	pkt := wire.Encode(&frame)
+	if sh := s.shaper; sh != nil {
+		if sess.rec.Class == wire.ClassBestEffort {
+			if !sh.TakeBestEffort(len(pkt)) {
+				s.stats.ShedTokens++
+				s.ctr.shedTokens.Inc()
+				sess.armSendLocked(2 * sess.sendPeriodLocked())
+				s.mu.Unlock()
+				return
+			}
+		} else {
+			sh.TakeReserved(len(pkt))
+		}
+	}
+	if thinning {
+		sess.thinCredit += int(quality) - int(fps)
+	}
+	sess.rec.Offset++
 	s.stats.FramesSent++
 	s.stats.VideoBytes += uint64(len(pkt))
 	s.ctr.framesSent.Inc()
@@ -442,9 +508,6 @@ func (s *Server) handleVCRLocked(sess *session, msg *wire.VCR) {
 		if ms := s.movies[sess.movie.ID()]; ms != nil {
 			ms.noteDepartedLocked(sess.rec)
 		}
-		sess.stopLocked()
-		delete(s.sessions, sess.rec.ClientID)
-		s.recycleSessionLocked(sess)
-		s.noteSessionsLocked()
+		s.dropSessionLocked(sess)
 	}
 }

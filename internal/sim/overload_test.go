@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestReservedRidesThroughRestart: the flash-crowd overload trial with the
+// primary crashed and cold-restarted mid-crowd. The reserved fleet must
+// ride the whole thing — flash crowd, loss burst, takeover, restart,
+// redistribution — with zero stalls and zero refusals, every viewer
+// finishing the movie, while the ladder visibly worked the best-effort
+// class over (degraded frames, shed tokens, refusals all nonzero).
+func TestReservedRidesThroughRestart(t *testing.T) {
+	res := OverloadTrial(OverloadConfig{Seed: 1, Restart: true})
+
+	r := res.Reserved
+	if r.Stalls != 0 || r.WorstStall != 0 {
+		t.Errorf("reserved stalls = %d (worst %d), want 0 through crash+restart", r.Stalls, r.WorstStall)
+	}
+	if r.Refusals != 0 || res.Stats.RefusalsReserved != 0 {
+		t.Errorf("reserved refusals = %d client / %d server, want 0", r.Refusals, res.Stats.RefusalsReserved)
+	}
+	if r.Finished != r.Viewers || r.Watching != r.Viewers {
+		t.Errorf("reserved finished=%d watching=%d of %d viewers, want all", r.Finished, r.Watching, r.Viewers)
+	}
+	if res.Stats.AdmitsReserved != uint64(r.Viewers) {
+		t.Errorf("reserved admits = %d, want exactly %d", res.Stats.AdmitsReserved, r.Viewers)
+	}
+	if res.Stats.Takeovers == 0 {
+		t.Error("no takeovers — the crash never exercised failover")
+	}
+	if res.Stats.DegradedFrames == 0 || res.Stats.ShedTokens == 0 || res.Stats.RefusalsBestEffort == 0 {
+		t.Errorf("ladder idle: degraded=%d shed=%d refusedBE=%d, want all nonzero",
+			res.Stats.DegradedFrames, res.Stats.ShedTokens, res.Stats.RefusalsBestEffort)
+	}
+	be := res.BestEffort
+	if be.Finished < be.Viewers && be.Displayed <= res.BestEffortProbe {
+		t.Errorf("best effort deadlocked: displayed %d vs probe %d", be.Displayed, res.BestEffortProbe)
+	}
+}
+
+// TestOverloadTrialDeterministic: the trial is part of the reproducibility
+// contract — the same seed must produce the identical harvest, counters
+// and all, run to run.
+func TestOverloadTrialDeterministic(t *testing.T) {
+	cfg := OverloadConfig{Seed: 7, Restart: true}
+	a := OverloadTrial(cfg)
+	b := OverloadTrial(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}

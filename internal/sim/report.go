@@ -573,12 +573,15 @@ func TableSyncSweep(seed int64) Table {
 // (§2: the service "is best provided using QoS reservation mechanisms",
 // e.g. an ATM CBR channel; without one, "some buffer space and a flow
 // control mechanism can account for jitter periods"). A reserved channel
-// is modeled as the same path with no loss and bounded jitter.
+// is modeled as the same path with no loss and bounded jitter. The last
+// two rows come from the server-side traffic-class ladder: a LAN flash
+// crowd where the server itself shapes egress and degrades best-effort
+// sessions so reserved viewers keep their guarantees.
 func TableQoS(seed int64) Table {
 	t := Table{
 		ID:     "Abl Q",
 		Title:  "WAN with vs without QoS reservation (§2)",
-		Header: []string{"network", "skipped", "late", "stalls", "worst freeze (ticks)", "arrival jitter"},
+		Header: []string{"network", "class", "skipped", "late", "stalls", "worst freeze (ticks)", "arrival jitter"},
 	}
 	reserved := netsim.WAN()
 	reserved.Loss = 0
@@ -590,19 +593,41 @@ func TableQoS(seed int64) Table {
 		{"best effort (0.5% loss, 8ms jitter)", netsim.WAN()},
 		{"reserved channel (no loss, 2ms jitter)", reserved},
 	}
-	t.Rows = fanOut(len(cases), func(i int) []string {
+	classRow := func(name string, out ClassOutcome) []string {
+		return []string{
+			"LAN flash crowd (server-shaped)",
+			name,
+			strconv.FormatUint(out.Skipped, 10),
+			strconv.FormatUint(out.Late, 10),
+			strconv.FormatUint(out.Stalls, 10),
+			strconv.FormatUint(out.WorstStall, 10),
+			"-",
+		}
+	}
+	rows := fanOut(len(cases)+1, func(i int) [][]string {
+		if i == len(cases) {
+			res := OverloadTrial(OverloadConfig{Seed: seed})
+			return [][]string{
+				classRow("reserved", res.Reserved),
+				classRow("best effort", res.BestEffort),
+			}
+		}
 		sc := WANScenario(seed)
 		sc.Profile = cases[i].prof
 		res := Run(sc)
-		return []string{
+		return [][]string{{
 			cases[i].name,
+			"-",
 			strconv.FormatUint(res.Final.Skipped(), 10),
 			strconv.FormatUint(res.Final.Late, 10),
 			strconv.FormatUint(res.Final.Stalls, 10),
 			strconv.FormatUint(res.Final.MaxStallRun, 10),
 			res.ClientJitter.Truncate(100 * time.Microsecond).String(),
-		}
+		}}
 	})
+	for _, r := range rows {
+		t.Rows = append(t.Rows, r...)
+	}
 	return t
 }
 

@@ -283,6 +283,12 @@ func addStats(a, b server.Stats) server.Stats {
 	a.Releases += b.Releases
 	a.Emergencies += b.Emergencies
 	a.FramesThinned += b.FramesThinned
+	a.AdmitsReserved += b.AdmitsReserved
+	a.AdmitsBestEffort += b.AdmitsBestEffort
+	a.RefusalsReserved += b.RefusalsReserved
+	a.RefusalsBestEffort += b.RefusalsBestEffort
+	a.ShedTokens += b.ShedTokens
+	a.DegradedFrames += b.DegradedFrames
 	return a
 }
 

@@ -99,6 +99,10 @@ func DecodeOpenInto(m *Open, b []byte) error {
 	keepString(&m.ClientID, r.StringBytes())
 	keepString(&m.ClientAddr, r.StringBytes())
 	keepString(&m.Movie, r.StringBytes())
+	m.Class = ClassReserved
+	if r.err == nil && r.Remaining() > 0 {
+		m.Class = Class(r.U8())
+	}
 	if err := r.Done(); err != nil {
 		return fmt.Errorf("wire: decoding Open: %w", err)
 	}
@@ -119,6 +123,10 @@ func DecodeOpenReplyInto(m *OpenReply, b []byte) error {
 	m.TotalFrames = r.U32()
 	m.FPS = r.U16()
 	keepString(&m.SessionGroup, r.StringBytes())
+	m.RetryAfterMs = 0
+	if r.err == nil && r.Remaining() > 0 {
+		m.RetryAfterMs = r.U32()
+	}
 	if err := r.Done(); err != nil {
 		return fmt.Errorf("wire: decoding OpenReply: %w", err)
 	}

@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeeds returns one valid encoding of every message kind, including the
+// optional trailing fields (class bytes, retry hints), plus a few known
+// nasty shapes — truncations and hostile length prefixes.
+func fuzzSeeds() [][]byte {
+	seeds := [][]byte{
+		Encode(&Open{ClientID: "client-1", ClientAddr: "client-1", Movie: "feature"}),
+		Encode(&Open{ClientID: "client-1", ClientAddr: "client-1", Movie: "feature", Class: ClassBestEffort}),
+		Encode(&OpenReply{OK: true, Movie: "feature", TotalFrames: 1800, FPS: 30, SessionGroup: "vod.session.client-1"}),
+		Encode(&OpenReply{Error: "at capacity", Movie: "feature", RetryAfterMs: 1000}),
+		Encode(&Frame{Movie: "feature", Index: 42, Class: FrameP, Payload: []byte{1, 2, 3, 4}}),
+		Encode(&FlowControl{ClientID: "client-1", Request: FlowEmergencyMajor, Occupancy: 11}),
+		Encode(&VCR{ClientID: "client-1", Op: VCRSeek, Arg: 900}),
+		Encode(&ClientState{Server: "server-1", ViewSeq: 3, Newcomer: true, Clients: []ClientRecord{
+			{ClientID: "client-1", ClientAddr: "client-1", Offset: 7, Rate: 30, SentAt: 99},
+			{ClientID: "client-2", ClientAddr: "client-2", Offset: 9, Rate: 28, QualityFPS: 10, Paused: true, SentAt: 98, Class: ClassBestEffort},
+		}}),
+		{},                      // empty
+		{0},                     // kind 0
+		{byte(KindClientState)}, // truncated header
+		{byte(KindClientState), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF}, // hostile record count
+		{byte(KindFrame), 0xFF, 0xFF},                                        // string length past end
+	}
+	return seeds
+}
+
+// FuzzDecodeMessage feeds arbitrary bytes to the generic decoder. Two
+// properties must hold: no panic on any input, and any message that decodes
+// must re-encode to something that decodes again to the same value
+// (decode∘encode idempotence, which also exercises the optional trailing
+// fields both absent and present).
+func FuzzDecodeMessage(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Decode(b)
+		if err != nil {
+			return
+		}
+		b2 := Encode(m)
+		m2, err := Decode(b2)
+		if err != nil {
+			t.Fatalf("re-encoding decoded message failed to decode: %v\ninput  %x\nencode %x", err, b, b2)
+		}
+		if b3 := Encode(m2); !bytes.Equal(b2, b3) {
+			t.Fatalf("encode not stable after round trip:\nfirst  %x\nsecond %x", b2, b3)
+		}
+	})
+}
+
+// FuzzDecodeOpenInto feeds arbitrary bytes to the allocation-free Open
+// decoder and checks it agrees with the generic path: same accept/reject
+// decision, same decoded value, and scratch reuse never leaks state from a
+// previous decode into the next.
+func FuzzDecodeOpenInto(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		// Dirty scratch: a failed decode must not be mistaken for a
+		// success, and a successful one must overwrite every field.
+		scratch := Open{ClientID: "stale", ClientAddr: "stale", Movie: "stale", Class: ClassBestEffort}
+		err := DecodeOpenInto(&scratch, b)
+
+		m, gerr := Decode(b)
+		if want, isOpen := m.(*Open); gerr == nil && isOpen {
+			if err != nil {
+				t.Fatalf("generic decode accepted Open but DecodeOpenInto rejected: %v (input %x)", err, b)
+			}
+			if scratch != *want {
+				t.Fatalf("DecodeOpenInto disagrees with Decode:\n got %+v\nwant %+v", scratch, *want)
+			}
+		} else if err == nil {
+			// DecodeOpenInto may only accept what Decode accepts as an Open.
+			t.Fatalf("DecodeOpenInto accepted input the generic decoder rejected: %x", b)
+		}
+	})
+}

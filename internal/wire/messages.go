@@ -101,12 +101,38 @@ func (k Kind) String() string {
 	}
 }
 
+// Class is the traffic class of a session: reserved viewers paid for
+// guaranteed service and are starved last; best-effort viewers absorb
+// degradation first when the cluster is under pressure. The zero value is
+// ClassReserved, so every pre-class encoding and every client that never
+// sets a class behaves exactly as before classes existed.
+type Class uint8
+
+// The traffic classes.
+const (
+	ClassReserved   Class = 0
+	ClassBestEffort Class = 1
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassReserved:
+		return "reserved"
+	case ClassBestEffort:
+		return "best-effort"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
 // Open asks the abstract server group to start a session. The client never
 // names a particular server.
 type Open struct {
 	ClientID   string // globally unique client identifier
 	ClientAddr string // transport address video frames should be sent to
 	Movie      string // requested movie ID from the catalog
+	Class      Class  // traffic class; encoded only when non-reserved
 }
 
 var _ Message = (*Open)(nil)
@@ -117,7 +143,13 @@ func (*Open) Kind() Kind { return KindOpen }
 func (m *Open) appendBody(b []byte) []byte {
 	b = AppendString(b, m.ClientID)
 	b = AppendString(b, m.ClientAddr)
-	return AppendString(b, m.Movie)
+	b = AppendString(b, m.Movie)
+	// The class travels as an optional trailing byte so reserved-class
+	// (default) Opens stay byte-identical to the pre-class encoding.
+	if m.Class != ClassReserved {
+		b = AppendU8(b, uint8(m.Class))
+	}
+	return b
 }
 
 func decodeOpen(r *Reader) (Message, error) {
@@ -125,6 +157,9 @@ func decodeOpen(r *Reader) (Message, error) {
 		ClientID:   r.String(),
 		ClientAddr: r.String(),
 		Movie:      r.String(),
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Class = Class(r.U8())
 	}
 	return m, r.Err()
 }
@@ -137,6 +172,10 @@ type OpenReply struct {
 	TotalFrames  uint32 // length of the movie in frames
 	FPS          uint16 // nominal display rate
 	SessionGroup string // group the client must join for control traffic
+	// RetryAfterMs, when nonzero on a refusal, is the server's hint for how
+	// long the client should wait before retrying the Open (milliseconds).
+	// Encoded only when nonzero, as an optional trailing field.
+	RetryAfterMs uint32
 }
 
 var _ Message = (*OpenReply)(nil)
@@ -150,7 +189,11 @@ func (m *OpenReply) appendBody(b []byte) []byte {
 	b = AppendString(b, m.Movie)
 	b = AppendU32(b, m.TotalFrames)
 	b = AppendU16(b, m.FPS)
-	return AppendString(b, m.SessionGroup)
+	b = AppendString(b, m.SessionGroup)
+	if m.RetryAfterMs != 0 {
+		b = AppendU32(b, m.RetryAfterMs)
+	}
+	return b
 }
 
 func decodeOpenReply(r *Reader) (Message, error) {
@@ -161,6 +204,9 @@ func decodeOpenReply(r *Reader) (Message, error) {
 		TotalFrames:  r.U32(),
 		FPS:          r.U16(),
 		SessionGroup: r.String(),
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.RetryAfterMs = r.U32()
 	}
 	return m, r.Err()
 }
@@ -359,6 +405,7 @@ type ClientRecord struct {
 	Paused     bool
 	Departed   bool  // session ended; peers must forget this client
 	SentAt     int64 // sender's clock, unix milliseconds, for ordering
+	Class      Class // traffic class, preserved across takeover
 }
 
 // ClientState is the state-sync message multicast on a movie group: the
@@ -389,6 +436,7 @@ func (m *ClientState) appendBody(b []byte) []byte {
 	b = AppendU64(b, m.ViewSeq)
 	b = AppendBool(b, m.Newcomer)
 	b = AppendU16(b, uint16(len(m.Clients)))
+	classed := false
 	for i := range m.Clients {
 		c := &m.Clients[i]
 		b = AppendString(b, c.ClientID)
@@ -399,15 +447,38 @@ func (m *ClientState) appendBody(b []byte) []byte {
 		b = AppendBool(b, c.Paused)
 		b = AppendBool(b, c.Departed)
 		b = AppendI64(b, c.SentAt)
+		if c.Class != ClassReserved {
+			classed = true
+		}
+	}
+	// Per-record classes travel as an optional trailing block (one byte per
+	// record, in record order), appended only when some record is
+	// non-reserved — an all-reserved sync stays byte-identical to the
+	// pre-class encoding, keeping SyncBytes and the figures unchanged for
+	// clusters that never use classes.
+	if classed {
+		for i := range m.Clients {
+			b = AppendU8(b, uint8(m.Clients[i].Class))
+		}
 	}
 	return b
 }
+
+// minClientRecordBytes is the smallest possible encoded ClientRecord: two
+// empty strings (2 bytes of length prefix each) plus the fixed fields.
+const minClientRecordBytes = 2 + 2 + 4 + 2 + 2 + 1 + 1 + 8
 
 func decodeClientState(r *Reader) (Message, error) {
 	m := &ClientState{Server: r.String(), ViewSeq: r.U64(), Newcomer: r.Bool()}
 	n := int(r.U16())
 	if r.Err() != nil {
 		return nil, r.Err()
+	}
+	// Guard the pre-allocation against a hostile count: n records need at
+	// least n*minClientRecordBytes more input, so a short packet claiming
+	// 65535 records fails here instead of allocating megabytes first.
+	if n*minClientRecordBytes > r.Remaining() {
+		return nil, ErrTruncated
 	}
 	m.Clients = make([]ClientRecord, 0, n)
 	for i := 0; i < n; i++ {
@@ -423,6 +494,11 @@ func decodeClientState(r *Reader) (Message, error) {
 		})
 		if r.Err() != nil {
 			return nil, r.Err()
+		}
+	}
+	if r.Remaining() > 0 {
+		for i := range m.Clients {
+			m.Clients[i].Class = Class(r.U8())
 		}
 	}
 	return m, r.Err()

@@ -243,10 +243,17 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 }
 
 func TestDecodeRejectsTrailing(t *testing.T) {
-	b := Encode(&Open{ClientID: "c", ClientAddr: "a", Movie: "m"})
+	// VCR has no optional trailing fields: any extra byte is an error.
+	b := Encode(&VCR{ClientID: "c", Op: VCRPause})
 	b = append(b, 0xFF)
 	if _, err := Decode(b); !errors.Is(err, ErrTrailing) {
 		t.Fatalf("Decode with trailing byte = %v, want ErrTrailing", err)
+	}
+	// Open accepts exactly one optional class byte; two extras are trailing.
+	o := Encode(&Open{ClientID: "c", ClientAddr: "a", Movie: "m"})
+	o = append(o, 0xFF, 0xFF)
+	if _, err := Decode(o); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("Decode Open with two trailing bytes = %v, want ErrTrailing", err)
 	}
 }
 
