@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-short race bench bench-json bench-smoke bench-capacity chaos sweep figures tables examples vet fuzz-smoke
+.PHONY: test test-short race bench bench-json bench-smoke bench-capacity bench-scale chaos sweep figures tables examples vet fuzz-smoke
 
 test:        ## full test suite (includes ~20s of real-clock tests)
 	go test ./...
@@ -30,6 +30,17 @@ bench-capacity: ## capacity-scale benchmark; fails if B/op exceeds the checked-i
 	if [ "$$bop" -gt "$$budget" ]; then echo "bench-capacity: FAIL $$bop B/op exceeds budget $$budget"; exit 1; fi; \
 	echo "bench-capacity: OK $$bop B/op within budget $$budget"
 
+bench-scale: ## two-tier 50-server/10k-viewer capacity row, recorded into BENCH_hotpath.json
+	@go test -run='^$$' -bench='^BenchmarkTableScale$$' -benchtime=1x -benchmem -json . > BENCH_scale.tmp || { cat BENCH_scale.tmp; rm -f BENCH_scale.tmp; exit 1; }
+	@grep -h '"Output"' BENCH_scale.tmp | grep -o 'Benchmark[^"\\]*' | head -2 || true
+	@if [ -f BENCH_hotpath.json ]; then \
+		grep -v 'BenchmarkTableScale' BENCH_hotpath.json > BENCH_hotpath.json.new || true; \
+		cat BENCH_scale.tmp >> BENCH_hotpath.json.new; \
+		mv BENCH_hotpath.json.new BENCH_hotpath.json; \
+	else mv BENCH_scale.tmp BENCH_hotpath.json; fi
+	@rm -f BENCH_scale.tmp
+	@echo "bench-scale: recorded into BENCH_hotpath.json"
+
 chaos:       ## seeded fault schedules + invariant checks, race-clean
 	go test -race -short -run 'Chaos|Monkey|Sweep' ./...
 	go run ./cmd/vodbench -chaos -runs 50
@@ -51,6 +62,7 @@ examples:    ## run all simulated examples
 fuzz-smoke:  ## short fuzz pass over the wire decoders (one -fuzz per run)
 	go test -run='^$$' -fuzz='^FuzzDecodeMessage$$' -fuzztime=10s ./internal/wire
 	go test -run='^$$' -fuzz='^FuzzDecodeOpenInto$$' -fuzztime=10s ./internal/wire
+	go test -run='^$$' -fuzz='^FuzzDecodeLease$$' -fuzztime=10s ./internal/lease
 
 vet:
 	go vet ./...

@@ -218,6 +218,27 @@ func BenchmarkAblationCapacity(b *testing.B) {
 	b.ReportMetric(float64(starvedAt85), "starved-viewers-at-119pct")
 }
 
+// BenchmarkTableScale regenerates the two-tier capacity table (DESIGN
+// §12): sharded movie groups plus leased viewers, up to 50 servers and
+// 10,000 concurrent streams. The metrics pin the headline row: every
+// viewer healthy, and exactly one Open per viewer (the ring-ordered
+// anycast lands on the owner first try).
+func BenchmarkTableScale(b *testing.B) {
+	var t sim.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = sim.TableByID("scale", int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := t.Rows[len(t.Rows)-1]
+	healthy, _ := strconv.Atoi(last[3])
+	opens, _ := strconv.ParseFloat(last[7], 64)
+	b.ReportMetric(float64(healthy), "healthy-viewers-50x10k")
+	b.ReportMetric(opens, "opens-per-viewer")
+}
+
 // BenchmarkAblationDiscardPolicy regenerates the §3 discard-policy
 // ablation (I-frame preserving vs naive).
 func BenchmarkAblationDiscardPolicy(b *testing.B) {

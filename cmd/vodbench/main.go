@@ -28,6 +28,13 @@
 // Tables: flowctl (Figure 2 policy) · emergency (§4.1) · sync (§5.2
 // overhead) · takeover · faults (vs Tiger, §7) · buffersweep ·
 // emergencysweep · syncsweep · discard (ablations).
+//
+// One extra table is reachable by name only (not part of -table all, so
+// the default outputs never change): `vodbench -table scale` runs the
+// two-tier capacity table (DESIGN §12) — sharded movie groups plus leased
+// viewers at 10×1,000, 25×4,000 and 50×10,000 servers×viewers. It is the
+// most expensive table (about a minute on one core; the rows fan out
+// across available cores).
 package main
 
 import (

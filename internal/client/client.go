@@ -19,7 +19,9 @@ import (
 	"repro/internal/congress"
 	"repro/internal/flowctl"
 	"repro/internal/gcs"
+	"repro/internal/lease"
 	"repro/internal/obs"
+	"repro/internal/placement"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -94,6 +96,20 @@ type Config struct {
 	// Class is the traffic class carried on every Open (default reserved;
 	// reserved-class Opens are byte-identical to pre-class ones).
 	Class wire.Class
+	// Lease switches the client to two-tier membership (DESIGN §12): it
+	// never joins its session group — instead it leases its session from
+	// the serving server, renewing every TTL/3 on the injected clock.
+	// Flow control and VCR commands go point-to-point to that server, and
+	// a full TTL of ack silence triggers the same Open re-anycast as
+	// playback starvation, with the takeover flag set. The video path is
+	// unchanged (frames were always point-to-point).
+	Lease bool
+	// Placement, when set (lease mode), is the shared consistent-hash
+	// ring of server IDs. The Open anycast walks servers in the movie's
+	// ring order, so the first probe normally lands on the owner and the
+	// first takeover retry lands on its successor — no broadcast, no
+	// directory round-trip.
+	Placement *placement.Ring
 	// StarveTimeout is how long playback may fail to progress (while
 	// watching, unpaused and unfinished) before the client decides its
 	// session is dead — a crashed-and-gone server, a network partition —
@@ -241,6 +257,16 @@ type Client struct {
 	// waiting out a full cluster receives a stream of identical at-capacity
 	// refusals; decoding them into scratch costs nothing.
 	orIn wire.OpenReply
+
+	// Lease-mode state (cfg.Lease): the keeper renews the session lease,
+	// serving is the server that last accepted our Open (renew/control
+	// target), and the scratch fields make the renew path allocation-free.
+	// All guarded by mu except the keeper's own internals.
+	keeper   *lease.Keeper
+	serving  gcs.ProcessID
+	ackIn    lease.Ack
+	renewOut lease.Renew
+	renewBuf []byte
 }
 
 // dirEvent defers one direct (point-to-point) GCS payload onto the clock.
@@ -364,10 +390,14 @@ func (c *Client) Watch(movieID string) error {
 	c.reopening = false
 	c.openAttempt = 0
 	c.refusals = 0
+	if c.cfg.Lease {
+		c.serving = ""
+		c.orderServersLocked()
+	}
 	rejoined := c.session != nil // finished-then-rewatch: still a member
 	c.mu.Unlock()
 
-	if !rejoined {
+	if !rejoined && !c.cfg.Lease {
 		session, err := c.proc.Join(SessionGroupName(c.cfg.ID), gcs.Handlers{})
 		if err != nil {
 			return fmt.Errorf("client %s: joining session group: %w", c.cfg.ID, err)
@@ -385,44 +415,84 @@ func (c *Client) Watch(movieID string) error {
 	return nil
 }
 
-// resolveThenOpen asks the directory for the current server-group members
-// before opening. Failures fall back to the static list (if any) or retry.
+// leaseOwnerFanout is how many ring owners a leased client asks the
+// directory for: the movie's owner plus enough successors that a crashed
+// owner (or two) still leaves a resolved target to re-anycast to.
+const leaseOwnerFanout = 4
+
+// resolveThenOpen asks the directory for servers before opening. In lease
+// mode it resolves the movie's ring owners (ResolveKey), so the directory
+// answers with the placement order instead of the whole group; otherwise
+// it resolves the full server-group membership. Failures fall back to the
+// static list (if any) or retry.
 func (c *Client) resolveThenOpen() {
-	c.resolver.Resolve("vod.servers", 5, func(addrs []transport.Addr) {
+	if c.cfg.Lease {
 		c.mu.Lock()
-		if !c.openActiveLocked() {
-			c.mu.Unlock()
-			return
-		}
-		if len(addrs) > 0 {
-			resolved := make([]string, 0, len(addrs))
-			for _, a := range addrs {
-				resolved = append(resolved, string(a))
-			}
-			// Resolved servers first — they are known live — then any
-			// static fallbacks not already listed.
-			for _, s := range c.cfg.Servers {
-				if !containsString(resolved, s) {
-					resolved = append(resolved, s)
-				}
-			}
-			c.servers = resolved
-			c.serverIdx = 0
-			c.mu.Unlock()
-			c.sendOpen()
-			return
-		}
-		if len(c.cfg.Servers) > 0 {
-			c.servers = append([]string(nil), c.cfg.Servers...)
-			c.mu.Unlock()
-			c.sendOpen()
-			return
-		}
+		movie := c.movie
 		c.mu.Unlock()
-		// Nothing to try yet: the directory may be empty because no
-		// server registered; ask again shortly.
-		c.cfg.Clock.AfterFunc(time.Second, c.resolveThenOpen)
-	})
+		c.resolver.ResolveKey("vod.servers", movie, leaseOwnerFanout, 5, c.applyResolved)
+		return
+	}
+	c.resolver.Resolve("vod.servers", 5, c.applyResolved)
+}
+
+// applyResolved installs a directory answer as the anycast server list
+// and opens. An empty answer falls back to the static list, or re-asks
+// the directory after a beat (no server may have registered yet).
+func (c *Client) applyResolved(addrs []transport.Addr) {
+	c.mu.Lock()
+	if !c.openActiveLocked() {
+		c.mu.Unlock()
+		return
+	}
+	if len(addrs) > 0 {
+		resolved := make([]string, 0, len(addrs))
+		for _, a := range addrs {
+			resolved = append(resolved, string(a))
+		}
+		// Resolved servers first — they are known live — then any
+		// static fallbacks not already listed.
+		for _, s := range c.cfg.Servers {
+			if !containsString(resolved, s) {
+				resolved = append(resolved, s)
+			}
+		}
+		c.servers = resolved
+		c.serverIdx = 0
+		c.mu.Unlock()
+		c.sendOpen()
+		return
+	}
+	if len(c.cfg.Servers) > 0 {
+		c.servers = append([]string(nil), c.cfg.Servers...)
+		c.mu.Unlock()
+		c.sendOpen()
+		return
+	}
+	c.mu.Unlock()
+	// Nothing to try yet: the directory may be empty because no
+	// server registered; ask again shortly.
+	c.cfg.Clock.AfterFunc(time.Second, c.resolveThenOpen)
+}
+
+// orderServersLocked reorders the anycast list by the movie's consistent-
+// hash placement: ring owners in order, then any bootstrap servers not on
+// the ring. The first Open probe lands on the owner, and a takeover retry
+// walks to its successor — the same order the congress directory would
+// answer with. Caller holds c.mu.
+func (c *Client) orderServersLocked() {
+	ring := c.cfg.Placement
+	if ring == nil || ring.Len() == 0 {
+		return
+	}
+	ordered := ring.AppendOrder(nil, c.movie, ring.Len())
+	for _, s := range c.cfg.Servers {
+		if !containsString(ordered, s) {
+			ordered = append(ordered, s)
+		}
+	}
+	c.servers = ordered
+	c.serverIdx = 0
 }
 
 func containsString(xs []string, x string) bool {
@@ -519,6 +589,8 @@ func (c *Client) sendOpen() {
 		ClientAddr: c.cfg.ID,
 		Movie:      c.movie,
 		Class:      c.cfg.Class,
+		Lease:      c.cfg.Lease,
+		Takeover:   c.cfg.Lease && c.reopening,
 	}
 	if c.openTimer != nil {
 		c.openTimer.Stop()
@@ -530,9 +602,17 @@ func (c *Client) sendOpen() {
 	_ = c.proc.Anycast(target, "vod.servers", wire.Encode(open))
 }
 
-// onDirect handles point-to-point replies — the OpenReply.
-func (c *Client) onDirect(_ gcs.ProcessID, payload []byte) {
-	if len(payload) == 0 || wire.Kind(payload[0]) != wire.KindOpenReply {
+// onDirect handles point-to-point replies — the OpenReply, and in lease
+// mode the lease Acks confirming our renewals.
+func (c *Client) onDirect(from gcs.ProcessID, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	if payload[0] == lease.KindAck {
+		c.onLeaseAck(payload)
+		return
+	}
+	if wire.Kind(payload[0]) != wire.KindOpenReply {
 		return
 	}
 	c.mu.Lock()
@@ -572,6 +652,12 @@ func (c *Client) onDirect(_ gcs.ProcessID, payload []byte) {
 			c.openTimer.Stop()
 			c.openTimer = nil
 		}
+		if c.cfg.Lease {
+			// The acceptor — original owner or adopter — is the lease
+			// holder now; renewals and control traffic follow it.
+			c.serving = from
+			c.ensureKeeperLocked(reply.LeaseTTLMs)
+		}
 		next := c.pipeline.NextIndex()
 		paused := c.paused
 		c.cfg.Obs.Event("client.reopen_ok", fmt.Sprintf("%s resync at frame %d", c.cfg.ID, next))
@@ -594,6 +680,10 @@ func (c *Client) onDirect(_ gcs.ProcessID, payload []byte) {
 	if c.openTimer != nil {
 		c.openTimer.Stop()
 		c.openTimer = nil
+	}
+	if c.cfg.Lease {
+		c.serving = from
+		c.ensureKeeperLocked(reply.LeaseTTLMs)
 	}
 	period := time.Second / time.Duration(c.fps)
 	c.displayTask = clock.Every(c.cfg.Clock, period, c.displayTick)
@@ -641,6 +731,78 @@ func (c *Client) starveTick() {
 	c.ctr.reopens.Inc()
 	c.cfg.Obs.Event("client.reopen",
 		fmt.Sprintf("%s starved at frame %d", c.cfg.ID, c.pipeline.NextIndex()))
+	c.mu.Unlock()
+	c.sendOpen()
+}
+
+// ensureKeeperLocked (re)arms the lease keeper after an accepted Open.
+// The TTL comes from the server's reply (zero falls back to the package
+// default); a surviving keeper is just touched — the fresh OpenReply is
+// as good a liveness proof as an Ack. Caller holds c.mu.
+func (c *Client) ensureKeeperLocked(ttlMs uint32) {
+	if c.keeper != nil {
+		c.keeper.Touch()
+		return
+	}
+	ttl := time.Duration(ttlMs) * time.Millisecond
+	c.keeper = lease.NewKeeper(c.cfg.Clock, ttl, c.sendRenew, c.onLeaseLost)
+}
+
+// onLeaseAck records the server's lease confirmation.
+func (c *Client) onLeaseAck(payload []byte) {
+	c.mu.Lock()
+	k := c.keeper
+	if k == nil || lease.DecodeAckInto(&c.ackIn, payload) != nil ||
+		c.ackIn.ClientID != c.cfg.ID {
+		c.mu.Unlock()
+		return
+	}
+	seq := c.ackIn.Seq
+	c.mu.Unlock()
+	k.Ack(seq)
+}
+
+// sendRenew transmits one lease renewal to the serving server (keeper
+// callback, called without the keeper lock). Renewals continue after the
+// movie finishes — the session stays leased until StopWatching or Close
+// releases it — but stop in any other state.
+func (c *Client) sendRenew(seq uint64) {
+	c.mu.Lock()
+	serving := c.serving
+	if serving == "" || (c.state != StateWatching && c.state != StateFinished) {
+		c.mu.Unlock()
+		return
+	}
+	c.renewOut.ClientID = c.cfg.ID
+	c.renewOut.Seq = seq
+	pkt := lease.AppendRenew(c.renewBuf[:0], &c.renewOut)
+	c.renewBuf = pkt[:0]
+	// Send under c.mu: the gcs process never calls back into the client
+	// while holding its own lock, so the order c.mu -> proc is one-way;
+	// and pkt aliases renewBuf, which the next renewal reuses.
+	_ = c.proc.Send(serving, pkt)
+	c.mu.Unlock()
+}
+
+// onLeaseLost fires when a full TTL passes without an Ack: the serving
+// server (or the path to it) is gone. Recovery is exactly the starvation
+// path — re-anycast the Open, takeover flag set — but it triggers on
+// control-plane silence, typically well before the playback buffer runs
+// dry and the starvation watchdog would notice.
+func (c *Client) onLeaseLost() {
+	c.mu.Lock()
+	if c.state != StateWatching || c.reopening {
+		c.mu.Unlock()
+		return
+	}
+	c.reopening = true
+	c.openAttempt = 0
+	c.refusals = 0
+	c.lastMoved = c.cfg.Clock.Now() // the starvation window starts fresh too
+	c.stats.Reopens++
+	c.ctr.reopens.Inc()
+	c.cfg.Obs.Event("client.lease_lost",
+		fmt.Sprintf("%s reopening at frame %d", c.cfg.ID, c.pipeline.NextIndex()))
 	c.mu.Unlock()
 	c.sendOpen()
 }
@@ -694,7 +856,8 @@ func (c *Client) onVideo(_ transport.Addr, payload []byte) {
 	kind, due := c.policy.OnFrame(occ.CombinedFrames, occ.SoftwareFrames)
 	var pkt []byte
 	session := c.session
-	if due && session != nil {
+	serving := c.serving
+	if due && (session != nil || serving != "") {
 		c.stats.FlowSent++
 		c.ctr.flowSent.Inc()
 		if kind == wire.FlowEmergencyMajor || kind == wire.FlowEmergencyMinor {
@@ -712,7 +875,14 @@ func (c *Client) onVideo(_ transport.Addr, payload []byte) {
 	c.mu.Unlock()
 
 	if pkt != nil {
-		_ = session.Multicast(pkt)
+		if session != nil {
+			_ = session.Multicast(pkt)
+		} else {
+			// Lease mode: no session group exists; the request goes
+			// point-to-point to the serving server, which routes it into
+			// the same per-session flow-control logic.
+			_ = c.proc.Send(serving, pkt)
+		}
 	}
 }
 
@@ -758,18 +928,24 @@ func (c *Client) publishObsLocked() {
 	c.ctr.hwBytes.Set(int64(occ.HardwareBytes))
 }
 
-// sendVCR multicasts a VCR command into the session group.
+// sendVCR multicasts a VCR command into the session group — or, in lease
+// mode, sends it point-to-point to the serving server.
 func (c *Client) sendVCR(op wire.VCROp, arg uint32) error {
 	c.mu.Lock()
 	session := c.session
-	if c.state != StateWatching || session == nil {
+	serving := c.serving
+	if c.state != StateWatching || (session == nil && serving == "") {
 		c.mu.Unlock()
 		return fmt.Errorf("client %s: no active session", c.cfg.ID)
 	}
 	c.stats.VCRSent++
 	c.ctr.vcrSent.Inc()
 	c.mu.Unlock()
-	return session.Multicast(wire.Encode(&wire.VCR{ClientID: c.cfg.ID, Op: op, Arg: arg}))
+	pkt := wire.Encode(&wire.VCR{ClientID: c.cfg.ID, Op: op, Arg: arg})
+	if session != nil {
+		return session.Multicast(pkt)
+	}
+	return c.proc.Send(serving, pkt)
 }
 
 // Pause freezes playback and tells the server to stop transmitting.
@@ -849,7 +1025,13 @@ func (c *Client) StopWatching() error {
 	}
 	session := c.session
 	c.session = nil
+	keeper := c.keeper
+	c.keeper = nil
+	c.serving = ""
 	c.mu.Unlock()
+	if keeper != nil {
+		keeper.Stop()
+	}
 	if session != nil {
 		_ = session.Leave()
 	}
@@ -872,7 +1054,13 @@ func (c *Client) Close() {
 	if c.openTimer != nil {
 		c.openTimer.Stop()
 	}
+	keeper := c.keeper
+	c.keeper = nil
+	c.serving = ""
 	c.mu.Unlock()
+	if keeper != nil {
+		keeper.Stop()
+	}
 	c.proc.Close()
 	_ = c.mux.Close()
 }

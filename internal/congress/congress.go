@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/placement"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -34,6 +35,7 @@ const (
 	kindRegister uint8 = iota + 1
 	kindResolve
 	kindReply
+	kindResolveKey
 )
 
 // DefaultTTL is the registration lifetime when none is given; registrants
@@ -49,8 +51,17 @@ type Directory struct {
 
 	mu      sync.Mutex
 	entries map[string]map[transport.Addr]time.Time // group → addr → expiry
+	rings   map[string]*ringCache                   // group → placement ring over live members
 	sweep   *clock.Periodic
 	closed  bool
+}
+
+// ringCache is a consistent-hash ring over a group's live members, rebuilt
+// only when the member list actually changes — resolutions between
+// registration churn reuse it.
+type ringCache struct {
+	members []transport.Addr // sorted snapshot the ring was built from
+	ring    *placement.Ring
 }
 
 // NewDirectory starts a directory daemon on its own endpoint at addr. Like
@@ -67,6 +78,7 @@ func NewDirectory(clk clock.Clock, network transport.Network, addr transport.Add
 		mux:     mux,
 		ep:      mux.Channel(transport.ChannelDirectory),
 		entries: make(map[string]map[transport.Addr]time.Time),
+		rings:   make(map[string]*ringCache),
 	}
 	d.ep.SetHandler(d.onPacket)
 	d.sweep = clock.Every(clk, time.Second, d.expire)
@@ -120,8 +132,47 @@ func (d *Directory) expire() {
 		}
 		if len(byAddr) == 0 {
 			delete(d.entries, group)
+			delete(d.rings, group)
 		}
 	}
+}
+
+// addrsEqual reports whether two sorted address lists are identical.
+func addrsEqual(a, b []transport.Addr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ownersLocked resolves key to its first n owners on the group's placement
+// ring, building (or rebuilding) the ring only when the live member list
+// changed since the last key resolution.
+func (d *Directory) ownersLocked(group, key string, n int) []transport.Addr {
+	members := d.membersLocked(group)
+	if len(members) == 0 {
+		return nil
+	}
+	rc := d.rings[group]
+	if rc == nil || !addrsEqual(rc.members, members) {
+		ring := placement.New(placement.DefaultVNodes)
+		for _, m := range members {
+			ring.Add(string(m))
+		}
+		rc = &ringCache{members: members, ring: ring}
+		d.rings[group] = rc
+	}
+	ids := rc.ring.AppendOrder(nil, key, n)
+	out := make([]transport.Addr, len(ids))
+	for i, id := range ids {
+		out[i] = transport.Addr(id)
+	}
+	return out
 }
 
 func (d *Directory) onPacket(from transport.Addr, payload []byte) {
@@ -155,16 +206,34 @@ func (d *Directory) onPacket(from transport.Addr, payload []byte) {
 		d.mu.Lock()
 		members := d.membersLocked(group)
 		d.mu.Unlock()
-		reply := make([]byte, 0, 64)
-		reply = wire.AppendU8(reply, kindReply)
-		reply = wire.AppendString(reply, group)
-		reply = wire.AppendU64(reply, nonce)
-		reply = wire.AppendU16(reply, uint16(len(members)))
-		for _, m := range members {
-			reply = wire.AppendString(reply, string(m))
+		d.reply(from, group, nonce, members)
+	case kindResolveKey:
+		group := r.String()
+		key := r.String()
+		n := int(r.U16())
+		nonce := r.U64()
+		if r.Done() != nil || key == "" {
+			return
 		}
-		_ = d.ep.Send(from, reply)
+		d.mu.Lock()
+		owners := d.ownersLocked(group, key, n)
+		d.mu.Unlock()
+		d.reply(from, group, nonce, owners)
 	}
+}
+
+// reply sends a kindReply carrying addrs; both resolution flavors share the
+// format, so one resolver-side decoder serves both.
+func (d *Directory) reply(to transport.Addr, group string, nonce uint64, addrs []transport.Addr) {
+	pkt := make([]byte, 0, 64)
+	pkt = wire.AppendU8(pkt, kindReply)
+	pkt = wire.AppendString(pkt, group)
+	pkt = wire.AppendU64(pkt, nonce)
+	pkt = wire.AppendU16(pkt, uint16(len(addrs)))
+	for _, m := range addrs {
+		pkt = wire.AppendString(pkt, string(m))
+	}
+	_ = d.ep.Send(to, pkt)
 }
 
 // Registrar keeps one (group, addr) registration alive at a directory,
@@ -216,10 +285,21 @@ type Resolver struct {
 	rng     *rand.Rand // jitter; seeded from the endpoint address
 	nonce   uint64
 	pending map[uint64]*resolution
+
+	// streak counts resolutions that exhausted their retries since the last
+	// directory reply, across Resolve calls: when the directory has been
+	// unreachable for a while, a fresh resolution starts deeper in the
+	// backoff schedule instead of restarting the probe storm from the base
+	// delay. Any reply — even an empty member list — resets it, so the
+	// first success after a directory heal drops later resolutions straight
+	// back to the base delay.
+	streak int
 }
 
 type resolution struct {
 	group    string
+	key      string // non-empty: placement-ring resolution (kindResolveKey)
+	count    int    // owners requested for a key resolution
 	callback func([]transport.Addr)
 	retries  int
 	attempt  int // retries already taken, drives the backoff
@@ -251,10 +331,23 @@ func seedFrom(s string) int64 {
 // Resolve looks group up, invoking callback exactly once: with the member
 // list on success, or with nil after maxRetries request timeouts.
 func (r *Resolver) Resolve(group string, maxRetries int, callback func([]transport.Addr)) {
+	r.start(&resolution{group: group, callback: callback, retries: maxRetries})
+}
+
+// ResolveKey looks up the first n owners of key on the directory's
+// consistent-hash ring over group's live members — the congress answers a
+// movie Open by ring lookup instead of handing back the whole membership.
+// callback is invoked exactly once: with the owners in ring order on
+// success (empty if the group has no live members), or with nil after
+// maxRetries request timeouts.
+func (r *Resolver) ResolveKey(group, key string, n, maxRetries int, callback func([]transport.Addr)) {
+	r.start(&resolution{group: group, key: key, count: n, callback: callback, retries: maxRetries})
+}
+
+func (r *Resolver) start(res *resolution) {
 	r.mu.Lock()
 	r.nonce++
 	nonce := r.nonce
-	res := &resolution{group: group, callback: callback, retries: maxRetries}
 	r.pending[nonce] = res
 	r.mu.Unlock()
 	r.send(nonce, res)
@@ -262,8 +355,15 @@ func (r *Resolver) Resolve(group string, maxRetries int, callback func([]transpo
 
 func (r *Resolver) send(nonce uint64, res *resolution) {
 	pkt := make([]byte, 0, 32)
-	pkt = wire.AppendU8(pkt, kindResolve)
-	pkt = wire.AppendString(pkt, res.group)
+	if res.key != "" {
+		pkt = wire.AppendU8(pkt, kindResolveKey)
+		pkt = wire.AppendString(pkt, res.group)
+		pkt = wire.AppendString(pkt, res.key)
+		pkt = wire.AppendU16(pkt, uint16(res.count))
+	} else {
+		pkt = wire.AppendU8(pkt, kindResolve)
+		pkt = wire.AppendString(pkt, res.group)
+	}
 	pkt = wire.AppendU64(pkt, nonce)
 	_ = r.ep.Send(r.directory, pkt)
 
@@ -272,7 +372,7 @@ func (r *Resolver) send(nonce uint64, res *resolution) {
 	if r.pending[nonce] != res {
 		return // answered meanwhile
 	}
-	res.timer = r.clk.AfterFunc(r.retryDelayLocked(res.attempt), func() {
+	res.timer = r.clk.AfterFunc(r.retryDelayLocked(res.attempt+r.streak), func() {
 		r.mu.Lock()
 		if r.pending[nonce] != res {
 			r.mu.Unlock()
@@ -280,6 +380,7 @@ func (r *Resolver) send(nonce uint64, res *resolution) {
 		}
 		if res.retries <= 0 {
 			delete(r.pending, nonce)
+			r.streak++
 			cb := res.callback
 			r.mu.Unlock()
 			cb(nil)
@@ -331,6 +432,7 @@ func (r *Resolver) onPacket(_ transport.Addr, payload []byte) {
 		return
 	}
 	delete(r.pending, nonce)
+	r.streak = 0 // the directory is answering again
 	if res.timer != nil {
 		res.timer.Stop()
 	}

@@ -1,0 +1,204 @@
+package congress_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/congress"
+	"repro/internal/netsim"
+	"repro/internal/placement"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestResolveKeyMatchesLocalRing verifies the directory's key resolution is
+// the same consistent-hash placement a node computes locally: with the
+// registered members on a local ring, ResolveKey(key, n) must return
+// exactly AppendOrder(key, n).
+func TestResolveKeyMatchesLocalRing(t *testing.T) {
+	r := newRig(t)
+	servers := []transport.Addr{"srv-1", "srv-2", "srv-3", "srv-4"}
+	for _, s := range servers {
+		reg := congress.NewRegistrar(r.clk, r.channelOf(t, s), "directory", "vod.servers", s, 0)
+		defer reg.Stop()
+	}
+	r.clk.Advance(100 * time.Millisecond)
+
+	local := placement.New(placement.DefaultVNodes)
+	for _, s := range servers {
+		local.Add(string(s))
+	}
+
+	resolver := congress.NewResolver(r.clk, r.channelOf(t, "client"), "directory")
+	for _, movie := range []string{"casablanca", "vertigo", "metropolis", "m"} {
+		var got []transport.Addr
+		resolver.ResolveKey("vod.servers", movie, 2, 3, func(addrs []transport.Addr) { got = addrs })
+		r.clk.Advance(100 * time.Millisecond)
+		want := local.LookupN(movie, 2)
+		if len(got) != len(want) {
+			t.Fatalf("%s: owners = %v, want %v", movie, got, want)
+		}
+		for i := range want {
+			if string(got[i]) != want[i] {
+				t.Fatalf("%s: owners = %v, want %v", movie, got, want)
+			}
+		}
+	}
+}
+
+// TestResolveKeyTracksMembership verifies the directory rebuilds its ring
+// when registrations change: after a server's registration lapses, key
+// resolutions stop returning it.
+func TestResolveKeyTracksMembership(t *testing.T) {
+	r := newRig(t)
+	regs := map[transport.Addr]*congress.Registrar{}
+	for _, s := range []transport.Addr{"srv-1", "srv-2", "srv-3"} {
+		regs[s] = congress.NewRegistrar(r.clk, r.channelOf(t, s), "directory", "vod.servers", s, time.Second)
+	}
+	defer func() {
+		for _, reg := range regs {
+			reg.Stop()
+		}
+	}()
+	r.clk.Advance(100 * time.Millisecond)
+
+	resolver := congress.NewResolver(r.clk, r.channelOf(t, "client"), "directory")
+	resolveAll := func(movies []string) map[string][]transport.Addr {
+		out := make(map[string][]transport.Addr)
+		for _, m := range movies {
+			m := m
+			resolver.ResolveKey("vod.servers", m, 1, 3, func(addrs []transport.Addr) { out[m] = addrs })
+			r.clk.Advance(50 * time.Millisecond)
+		}
+		return out
+	}
+	movies := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	before := resolveAll(movies)
+	for m, owners := range before {
+		if len(owners) != 1 {
+			t.Fatalf("movie %s: owners = %v", m, owners)
+		}
+	}
+
+	// Let srv-2's registration lapse; survivors keep only their own arcs
+	// plus srv-2's orphaned movies.
+	regs["srv-2"].Stop()
+	r.clk.Advance(3 * time.Second)
+	after := resolveAll(movies)
+	for _, m := range movies {
+		if after[m][0] == "srv-2" {
+			t.Fatalf("movie %s still resolves to the lapsed server", m)
+		}
+		if before[m][0] != "srv-2" && after[m][0] != before[m][0] {
+			t.Fatalf("movie %s moved from %s to %s though its owner never lapsed",
+				m, before[m][0], after[m][0])
+		}
+	}
+}
+
+// TestResolveKeyEmptyGroup: a key resolution against a group with no live
+// members answers with an empty list — an answer, not a timeout.
+func TestResolveKeyEmptyGroup(t *testing.T) {
+	r := newRig(t)
+	resolver := congress.NewResolver(r.clk, r.channelOf(t, "client"), "directory")
+	called := false
+	var got []transport.Addr
+	resolver.ResolveKey("vod.servers", "casablanca", 2, 3, func(addrs []transport.Addr) {
+		called, got = true, addrs
+	})
+	r.clk.Advance(200 * time.Millisecond)
+	if !called || len(got) != 0 {
+		t.Fatalf("called=%v got=%v, want prompt empty answer", called, got)
+	}
+}
+
+// TestResolveStreakEscalatesAndResets pins the cross-resolution backoff
+// memory: while the directory stays unreachable, each new resolution starts
+// deeper in the backoff schedule (fewer probes for the same wall time), and
+// one successful reply resets the streak so the next failure probes from
+// the base delay again.
+func TestResolveStreakEscalatesAndResets(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	net := netsim.New(clk, 1, netsim.LAN())
+
+	// A scriptable directory: counts requests, and answers them (with an
+	// empty member list — still an answer) only when told to.
+	raw, err := net.NewEndpoint("directory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirCh := transport.NewMux(raw).Channel(transport.ChannelDirectory)
+	requests, answering := 0, false
+	dirCh.SetHandler(func(from transport.Addr, payload []byte) {
+		requests++
+		if !answering {
+			return
+		}
+		rd := wire.NewReader(payload)
+		if rd.U8() != 2 { // kindResolve
+			return
+		}
+		group := rd.String()
+		nonce := rd.U64()
+		reply := wire.AppendU8(nil, 3) // kindReply
+		reply = wire.AppendString(reply, group)
+		reply = wire.AppendU64(reply, nonce)
+		reply = wire.AppendU16(reply, 0)
+		_ = dirCh.Send(from, reply)
+	})
+
+	rawC, err := net.NewEndpoint("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolver := congress.NewResolver(clk, transport.NewMux(rawC).Channel(transport.ChannelDirectory), "directory")
+
+	// The retry count is fixed (initial + maxRetries probes), so the streak
+	// shows up as time: a deeper starting backoff stretches the same five
+	// probes over a longer window. Measure time-to-give-up.
+	failedDuration := func() time.Duration {
+		requests = 0
+		start := clk.Now()
+		done := false
+		resolver.Resolve("g", 4, func([]transport.Addr) { done = true })
+		for i := 0; i < 3000 && !done; i++ {
+			clk.Advance(10 * time.Millisecond)
+		}
+		if !done {
+			t.Fatal("resolution never gave up")
+		}
+		if requests != 5 {
+			t.Fatalf("probes = %d, want 5", requests)
+		}
+		return clk.Now().Sub(start)
+	}
+
+	// Consecutive failed resolutions start deeper in the schedule. With
+	// base 300ms, cap 2s and ≤25% jitter the windows are disjoint for the
+	// first escalation and monotone to the cap after.
+	first, second, third := failedDuration(), failedDuration(), failedDuration()
+	if second <= first {
+		t.Fatalf("failure streak did not escalate backoff: %v then %v", first, second)
+	}
+	if third <= first {
+		t.Fatalf("streak escalation not sustained: %v, %v, %v", first, second, third)
+	}
+
+	// One answered resolution resets the streak: the next failed
+	// resolution probes like the very first again.
+	answering = true
+	answered := false
+	var got []transport.Addr
+	resolver.Resolve("g", 4, func(addrs []transport.Addr) { answered, got = true, addrs })
+	clk.Advance(time.Second)
+	if !answered || got == nil || len(got) != 0 {
+		t.Fatalf("answered resolve: called=%v got=%v, want empty success", answered, got)
+	}
+	// Back to the base schedule: the post-reset failure finishes faster
+	// than any escalated one (jitter keeps it within ~25% of the first).
+	answering = false
+	if after := failedDuration(); after >= second {
+		t.Fatalf("streak not reset by success: %v, escalated run took %v", after, second)
+	}
+}

@@ -109,6 +109,17 @@ type Config struct {
 	PresenceInterval time.Duration
 	// ProposalTimeout bounds each view-change phase (default 300ms).
 	ProposalTimeout time.Duration
+
+	// SharedTimers coalesces all the process's periodic duties — the
+	// failure-detector heartbeat plus every membership's ack, retransmit
+	// and presence gossip — onto one timer ticking at the gcd of the four
+	// intervals, instead of one Periodic per membership per duty. Each
+	// duty still fires at its configured period; only timer-wheel load
+	// changes (a 50-group server drops from 151 standing Periodics to 1).
+	// Off by default: the coalesced tick drains the virtual clock's timer
+	// free list in a different order, which would perturb byte-identical
+	// replay of pre-existing scenarios.
+	SharedTimers bool
 }
 
 func (c *Config) fillDefaults() {
@@ -179,6 +190,15 @@ type Process struct {
 	sendBuf []byte
 
 	hbTask *clock.Periodic
+
+	// Shared-timer state (cfg.SharedTimers): hbTask ticks at tickBase, and
+	// each duty runs when tickCount is divisible by its divisor. tickCount
+	// is guarded by p.mu; tickScratch is a snapshot consumed outside the
+	// lock (member ticks relock p.mu themselves), distinct from mScratch,
+	// whose contract ends when the lock is released.
+	tickCount                          uint64
+	hbDiv, ackDiv, retransDiv, presDiv uint64
+	tickScratch                        []*Member
 }
 
 // maxBufFree bounds the payload free list so a burst does not pin its
@@ -236,8 +256,66 @@ func NewProcess(cfg Config) *Process {
 	}
 	p.fd = newDetector(p)
 	cfg.Endpoint.SetHandler(p.onPacket)
-	p.hbTask = clock.Every(cfg.Clock, cfg.HeartbeatInterval, p.heartbeatTick)
+	if cfg.SharedTimers {
+		base := gcdDur(gcdDur(cfg.HeartbeatInterval, cfg.AckInterval),
+			gcdDur(cfg.RetransmitInterval, cfg.PresenceInterval))
+		p.hbDiv = uint64(cfg.HeartbeatInterval / base)
+		p.ackDiv = uint64(cfg.AckInterval / base)
+		p.retransDiv = uint64(cfg.RetransmitInterval / base)
+		p.presDiv = uint64(cfg.PresenceInterval / base)
+		p.hbTask = clock.Every(cfg.Clock, base, p.sharedTick)
+	} else {
+		p.hbTask = clock.Every(cfg.Clock, cfg.HeartbeatInterval, p.heartbeatTick)
+	}
 	return p
+}
+
+// gcdDur is the greatest common divisor of two positive durations — the
+// shared-timer base tick.
+func gcdDur(a, b time.Duration) time.Duration {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// sharedTick is the single coalesced Periodic installed under
+// Config.SharedTimers. Duties run in a fixed order at coincident ticks —
+// heartbeat first, then per-membership gossip in group order, ack before
+// retransmit before presence within a membership — matching the
+// registration order the per-member timers would have had.
+func (p *Process) sharedTick() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.tickCount++
+	n := p.tickCount
+	var run []*Member
+	if n%p.ackDiv == 0 || n%p.retransDiv == 0 || n%p.presDiv == 0 {
+		// Snapshot into the dedicated scratch: member ticks retake p.mu
+		// themselves, so the snapshot outlives this critical section (which
+		// mScratch must not), and each tick self-guards on m.active if a
+		// membership deactivates in between.
+		run = append(p.tickScratch[:0], p.membersOrderedLocked()...)
+		p.tickScratch = run
+	}
+	p.mu.Unlock()
+	if n%p.hbDiv == 0 {
+		p.heartbeatTick()
+	}
+	for _, m := range run {
+		if n%p.ackDiv == 0 {
+			m.ackTick()
+		}
+		if n%p.retransDiv == 0 {
+			m.retransTick()
+		}
+		if n%p.presDiv == 0 {
+			m.presenceTick()
+		}
+	}
 }
 
 // ID returns this process's identifier (its transport address).

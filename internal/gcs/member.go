@@ -152,9 +152,11 @@ func newMember(p *Process, group string, h Handlers, contacts []ProcessID) *Memb
 		departed: make(map[ProcessID]bool),
 		future:   make(map[ViewID][]*msgMcast),
 	}
-	m.ackTask = clock.Every(p.cfg.Clock, p.cfg.AckInterval, m.ackTick)
-	m.retransTask = clock.Every(p.cfg.Clock, p.cfg.RetransmitInterval, m.retransTick)
-	m.presenceTask = clock.Every(p.cfg.Clock, p.cfg.PresenceInterval, m.presenceTick)
+	if !p.cfg.SharedTimers {
+		m.ackTask = clock.Every(p.cfg.Clock, p.cfg.AckInterval, m.ackTick)
+		m.retransTask = clock.Every(p.cfg.Clock, p.cfg.RetransmitInterval, m.retransTick)
+		m.presenceTask = clock.Every(p.cfg.Clock, p.cfg.PresenceInterval, m.presenceTick)
+	}
 	return m
 }
 
@@ -317,9 +319,11 @@ func (m *Member) deactivateLocked() {
 		return
 	}
 	m.active = false
-	m.ackTask.Stop()
-	m.retransTask.Stop()
-	m.presenceTask.Stop()
+	if m.ackTask != nil { // nil under Config.SharedTimers
+		m.ackTask.Stop()
+		m.retransTask.Stop()
+		m.presenceTask.Stop()
+	}
 	if m.debounce != nil {
 		m.debounce.Stop()
 	}

@@ -1,0 +1,190 @@
+// Package placement assigns movies to servers by consistent hashing.
+//
+// Each server contributes a fixed number of virtual nodes to a hash
+// ring; a movie is owned by the first distinct servers found walking
+// the ring clockwise from the movie's hash point. Adding or removing a
+// server therefore reassigns only the arc that server's virtual nodes
+// cover — about 1/n of the movies — instead of reshuffling the whole
+// catalog the way modulo placement would (the remap-bound property
+// test pins this).
+//
+// The ring is deterministic: the same member set always produces the
+// same point layout (fnv64a of "server#vnode"), so every process that
+// builds a ring from the same membership agrees on ownership without
+// any coordination. Rings are plain data — build one, share the
+// pointer read-only across a simulation, and rebuild on membership
+// change (Add/Remove mutate in place for owners such as the congress
+// directory, which serialises access).
+package placement
+
+import "sort"
+
+// DefaultVNodes is the virtual-node count per server. 64 keeps the
+// per-server load imbalance under ~20% at 50 servers while a full
+// ring rebuild stays microseconds.
+const DefaultVNodes = 64
+
+type point struct {
+	hash uint64
+	id   string // owning server
+}
+
+// Ring is a consistent-hash ring of servers. Not safe for concurrent
+// mutation; concurrent Lookup/AppendOrder on an immutable ring is safe.
+type Ring struct {
+	vnodes int
+	points []point // sorted by hash
+	ids    []string
+}
+
+// New returns an empty ring with the given virtual-node count per
+// server (DefaultVNodes if n <= 0).
+func New(n int) *Ring {
+	if n <= 0 {
+		n = DefaultVNodes
+	}
+	return &Ring{vnodes: n}
+}
+
+// fnv64a matches the seeded-jitter hash used elsewhere in the repo
+// (DESIGN §9) — identity strings in, stable 64-bit points out — with a
+// splitmix64 finalizer on top: raw FNV of short structured names
+// ("srv-07#12") clumps badly on the ring (2.5x load skew at 50
+// servers / 64 vnodes measured), the avalanche pass brings the
+// max/mean arc share down to ~1.2x.
+func fnv64a(parts ...string) uint64 {
+	h := uint64(14695981039346656037)
+	for _, s := range parts {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= '#' // separator so ("ab","c") != ("a","bc")
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+func vnodeName(i int) string {
+	// Stable two-digit-ish suffix without fmt: vnode counts are small.
+	buf := [8]byte{}
+	n := len(buf)
+	for {
+		n--
+		buf[n] = byte('0' + i%10)
+		i /= 10
+		if i == 0 {
+			break
+		}
+	}
+	return string(buf[n:])
+}
+
+// Add inserts a server's virtual nodes. Adding an existing server is
+// a no-op.
+func (r *Ring) Add(id string) {
+	for _, have := range r.ids {
+		if have == id {
+			return
+		}
+	}
+	r.ids = append(r.ids, id)
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, point{hash: fnv64a(id, vnodeName(v)), id: id})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].id < r.points[j].id // hash tie: stable by ID
+	})
+}
+
+// Remove deletes a server's virtual nodes. Unknown servers are a no-op.
+func (r *Ring) Remove(id string) {
+	found := false
+	for i, have := range r.ids {
+		if have == id {
+			r.ids = append(r.ids[:i], r.ids[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.id != id {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len reports the number of servers on the ring.
+func (r *Ring) Len() int { return len(r.ids) }
+
+// Servers returns the member IDs in sorted order (a fresh slice).
+func (r *Ring) Servers() []string {
+	out := append([]string(nil), r.ids...)
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the primary owner of key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(key)].id
+}
+
+// LookupN returns up to n distinct owners of key in ring-walk order:
+// the primary first, then each successive distinct server clockwise.
+// This is the replica set (and the client's server-preference order).
+func (r *Ring) LookupN(key string, n int) []string {
+	return r.AppendOrder(nil, key, n)
+}
+
+// AppendOrder is LookupN into a caller-owned slice — allocation-free
+// once dst has capacity. n <= 0 or n > Len() yields the full walk.
+func (r *Ring) AppendOrder(dst []string, key string, n int) []string {
+	if len(r.points) == 0 {
+		return dst
+	}
+	if n <= 0 || n > len(r.ids) {
+		n = len(r.ids)
+	}
+	start := len(dst)
+	i := r.search(key)
+	for seen := 0; seen < len(r.points) && len(dst)-start < n; seen++ {
+		id := r.points[(i+seen)%len(r.points)].id
+		dup := false
+		for _, have := range dst[start:] {
+			if have == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// search finds the first ring point at or after key's hash.
+func (r *Ring) search(key string) int {
+	h := fnv64a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap
+	}
+	return i
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"repro/internal/gcs"
+	"repro/internal/lease"
+	"repro/internal/wire"
+)
+
+// This file is the server half of the two-tier membership split: leased
+// clients are not group members at all. Their control plane — lease
+// renewals, flow control, VCR — arrives as direct datagrams on the GCS
+// process, and their liveness is a lease table instead of a failure
+// detector. Frames were always sent point-to-point, so the video path is
+// untouched.
+
+// leasesLocked returns the lease table, creating it on first use. Lazy so
+// that deployments without leased clients schedule no sweep timer — an
+// extra Periodic would reorder the virtual clock's pooled timer records
+// and break byte-identical replay of pre-lease scenarios. Caller holds
+// s.mu.
+func (s *Server) leasesLocked() *lease.Table {
+	if s.leases == nil {
+		s.leases = lease.NewTable(s.cfg.Clock, s.cfg.LeaseTTL, s.onLeaseExpire)
+	}
+	return s.leases
+}
+
+// onLeaseExpire tears down a leased session whose client went silent — the
+// lease-tier analogue of the failure detector expelling a member. The
+// tombstone tells the movie group the client is gone; if the client is in
+// fact alive it will re-anycast its Open (takeover) and be adopted afresh.
+func (s *Server) onLeaseExpire(clientID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	sess := s.sessions[clientID]
+	if sess == nil || sess.closed || !sess.rec.Leased {
+		return
+	}
+	sess.rec.Departed = true
+	if ms := s.movies[sess.movie.ID()]; ms != nil {
+		ms.noteDepartedLocked(sess.rec)
+	}
+	s.dropSessionLocked(sess)
+	s.cfg.Obs.Event("server.lease_expired", clientID)
+}
+
+// onDirect handles point-to-point datagrams sent to this server: the
+// leased-client control plane. The lease kinds (0x11+) and the wire
+// message kinds (1–6) are disjoint, so one byte routes.
+func (s *Server) onDirect(from gcs.ProcessID, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	switch payload[0] {
+	case lease.KindRenew:
+		s.handleRenew(from, payload)
+	case byte(wire.KindFlowControl), byte(wire.KindVCR):
+		s.handleDirectCtl(payload)
+	}
+}
+
+// handleRenew refreshes a leased client's lease and acks. Renews for
+// unknown, closed or unleased sessions are silently dropped: the client's
+// keeper starves and re-anycasts its Open, which is the takeover path.
+// The decode/encode scratch makes the steady state allocation-free.
+func (s *Server) handleRenew(from gcs.ProcessID, payload []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.leases == nil {
+		return
+	}
+	msg := &s.renewScratch
+	if err := lease.DecodeRenewInto(msg, payload); err != nil {
+		return
+	}
+	sess := s.sessions[msg.ClientID]
+	if sess == nil || sess.closed || !sess.rec.Leased {
+		return
+	}
+	s.leases.Touch(sess.rec.ClientID)
+	s.ackScratch.ClientID = sess.rec.ClientID
+	s.ackScratch.Seq = msg.Seq
+	s.ackScratch.TTLMs = uint32(s.leases.TTL().Milliseconds())
+	pkt := lease.AppendAck(s.ackBuf[:0], &s.ackScratch)
+	s.ackBuf = pkt[:0]
+	// Send under s.mu: the gcs process lock nests strictly inside it
+	// (callbacks run lock-free, so the reverse order never occurs), and
+	// pkt aliases ackBuf, which the next renew reuses.
+	_ = s.proc.Send(from, pkt)
+}
+
+// handleDirectCtl routes a leased client's FlowControl or VCR datagram
+// into the same per-session logic the session-group path uses. The client
+// ID is peeked without allocating; the map lookup by byte slice compiles
+// allocation-free.
+func (s *Server) handleDirectCtl(payload []byte) {
+	id := peekClientID(payload)
+	if id == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessions[string(id)]
+	if sess == nil || sess.closed || !sess.rec.Leased {
+		return
+	}
+	s.sessionCtlLocked(sess, sess.rec.ClientID, payload)
+}
+
+// peekClientID returns the leading ClientID field of a framed FlowControl
+// or VCR message, aliasing the payload.
+func peekClientID(payload []byte) []byte {
+	r := wire.NewReader(payload)
+	r.U8()
+	id := r.StringBytes()
+	if r.Err() != nil || len(id) == 0 {
+		return nil
+	}
+	return id
+}

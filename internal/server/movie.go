@@ -268,7 +268,13 @@ func (ms *movieState) redistributeLocked() {
 	}
 
 	clientIDs := make([]string, 0, len(ms.clients))
-	for id := range ms.clients {
+	for id, rec := range ms.clients {
+		if rec.Leased {
+			// Leased clients re-attach by re-anycasting their Open when
+			// their server goes silent; assigning them here would start a
+			// stream the client never asked this server for.
+			continue
+		}
 		clientIDs = append(clientIDs, id)
 	}
 	order := memberOrder(ms.view.Members, ms.newcomers)

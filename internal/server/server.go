@@ -26,7 +26,9 @@ import (
 	"repro/internal/fetch"
 	"repro/internal/flowctl"
 	"repro/internal/gcs"
+	"repro/internal/lease"
 	"repro/internal/obs"
+	"repro/internal/placement"
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -83,6 +85,21 @@ type Config struct {
 	// disables it entirely: classes are then tracked but never acted on,
 	// and the server behaves exactly as it did before classes existed.
 	Overload OverloadConfig
+	// Placement, when set, is the consistent-hash movie→server ring shared
+	// by the whole deployment. Each movie group's contact list is then
+	// scoped to the movie's ring owners instead of every peer, so a
+	// 50-server core runs one small virtual-synchrony group per movie arc
+	// rather than a full mesh. Servers not on a movie's arc fall back to
+	// the full peer list for that movie.
+	Placement *placement.Ring
+	// Replicas is the number of ring owners per movie when Placement is
+	// set (default 2) — the movie group size, hence the failure budget.
+	Replicas int
+	// LeaseTTL is the lifetime granted to client leases (default
+	// lease.DefaultTTL). A leased client renews over direct datagrams and
+	// detaches from group membership entirely; when its lease lapses the
+	// session is torn down as departed.
+	LeaseTTL time.Duration
 	// Flow is the flow-control parameter set (DefaultParams if zero).
 	Flow flowctl.Params
 	// SyncInterval is the state-sync period on movie groups (default
@@ -163,6 +180,12 @@ func (c *Config) fillDefaults() error {
 	if c.SyncInterval <= 0 {
 		c.SyncInterval = 500 * time.Millisecond
 	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = lease.DefaultTTL
+	}
 	if c.Flow.CombinedCapacity == 0 {
 		c.Flow = flowctl.DefaultParams()
 	}
@@ -236,6 +259,17 @@ type Server struct {
 	ctr         serverCounters
 	// classes counts live sessions per traffic class (index by classIdx).
 	classes [2]int
+
+	// leases tracks the liveness of leased clients. Created lazily on the
+	// first leased admission: its sweep Periodic would otherwise perturb
+	// the virtual clock's timer free-list order and break byte-identical
+	// replay of scenarios that never use leases.
+	leases *lease.Table
+	// renewScratch/ackScratch/ackBuf are the renew hot path's decode and
+	// encode reuse (one renew per client per TTL/3), guarded by mu.
+	renewScratch lease.Renew
+	ackScratch   lease.Ack
+	ackBuf       []byte
 }
 
 // classIdx maps a traffic class to its index in per-class arrays.
@@ -363,6 +397,11 @@ func (s *Server) Start() error {
 		}
 	}
 
+	// Leased clients speak to their server over direct datagrams (renews,
+	// flow control, VCR). Legacy clients never Send to a server, so the
+	// handler is inert for them.
+	s.proc.SetDirectHandler(s.onDirect)
+
 	sg, err := s.proc.Join(ServerGroup, gcs.Handlers{
 		OnMessage: s.onServerGroupMessage,
 	}, contacts...)
@@ -374,7 +413,7 @@ func (s *Server) Start() error {
 	s.mu.Unlock()
 
 	for _, id := range movieIDs {
-		if err := s.serveMovie(id, contacts); err != nil {
+		if err := s.serveMovie(id, s.movieContacts(id, contacts)); err != nil {
 			return err
 		}
 	}
@@ -409,6 +448,33 @@ func (s *Server) Start() error {
 		s.mu.Unlock()
 	}
 	return nil
+}
+
+// movieContacts scopes a movie group's contact list to the movie's ring
+// owners when a placement ring is configured: only the owners of the arc
+// need virtual synchrony for the movie, so group size — and with it sync
+// fan-out, flush cost and view-change blast radius — stays at Replicas no
+// matter how many servers the deployment runs. Without a ring (or for a
+// movie served off-arc) the full peer list is used, as before.
+func (s *Server) movieContacts(movieID string, all []gcs.ProcessID) []gcs.ProcessID {
+	r := s.cfg.Placement
+	if r == nil || r.Len() == 0 {
+		return all
+	}
+	owners := r.LookupN(movieID, s.cfg.Replicas)
+	onArc := false
+	contacts := make([]gcs.ProcessID, 0, len(owners))
+	for _, o := range owners {
+		if o == s.cfg.ID {
+			onArc = true
+			continue
+		}
+		contacts = append(contacts, transport.Addr(o))
+	}
+	if !onArc {
+		return all
+	}
+	return contacts
 }
 
 // serveMovie joins the movie's group and starts its sync task.
@@ -480,6 +546,9 @@ func (s *Server) Stop() {
 			ms.syncTask.Stop()
 		}
 	}
+	if s.leases != nil {
+		s.leases.Close()
+	}
 	reg := s.registrar
 	s.mu.Unlock()
 	if reg != nil {
@@ -524,6 +593,9 @@ func (s *Server) degradeFPSLocked() uint16 {
 func (s *Server) dropSessionLocked(sess *session) {
 	sess.stopLocked()
 	delete(s.sessions, sess.rec.ClientID)
+	if sess.rec.Leased && s.leases != nil {
+		s.leases.Drop(sess.rec.ClientID)
+	}
 	s.classes[classIdx(sess.rec.Class)]--
 	s.recycleSessionLocked(sess)
 	s.noteSessionsLocked()
@@ -612,12 +684,34 @@ func (s *Server) handleOpen(e *openEvent) {
 	}
 	_, servedHere := s.sessions[open.ClientID]
 	servedElsewhere := false
+	var elseRec wire.ClientRecord
 	if ms := s.movies[open.Movie]; ms != nil && !servedHere {
 		// A retried Open (lost reply) may reach a second server after the
 		// first one already started serving; the knowledge table knows.
 		if rec, known := ms.clients[open.ClientID]; known && !rec.Departed {
 			servedElsewhere = true
+			elseRec = rec
 		}
+	}
+	// A leased takeover adopts the client from the knowledge table: its
+	// server went silent (lease keeper starved), so it re-anycast the Open
+	// with the takeover flag and whichever live owner holds the movie
+	// resumes from the last-heard offset. Like view-change takeover, this
+	// bypasses admission — degraded service beats no service.
+	adopt := open.Lease && open.Takeover && servedElsewhere
+	if open.Lease && servedElsewhere && !adopt {
+		// Plain lease retry that raced its own reply to a second server:
+		// refuse briefly instead of double-streaming; the client keeps
+		// cycling the owner list and re-reaches its real server.
+		s.mu.Unlock()
+		e.reply = wire.OpenReply{
+			OK:           false,
+			Error:        "session active elsewhere",
+			Movie:        open.Movie,
+			RetryAfterMs: 250,
+		}
+		_ = s.proc.Send(from, e.enc.Encode(&e.reply))
+		return
 	}
 	if !servedHere && !servedElsewhere {
 		// Degrade-before-refuse admission ladder: best-effort Opens hit
@@ -651,17 +745,40 @@ func (s *Server) handleOpen(e *openEvent) {
 			return
 		}
 	}
-	if servedHere || servedElsewhere {
+	switch {
+	case servedHere:
 		// Duplicate open (client retry); just re-send the reply below.
-	} else {
+		if open.Lease {
+			if sess := s.sessions[open.ClientID]; sess != nil && sess.rec.Leased {
+				s.leasesLocked().Touch(open.ClientID)
+			}
+		}
+	case servedElsewhere && !adopt:
+		// Duplicate open (lost reply reached a second server); the peer
+		// keeps the session — just re-send the reply below. Leased opens
+		// never get here: they were refused above or adopt below.
+	case adopt:
+		rec := elseRec
+		rec.ClientAddr = open.ClientAddr
+		rec.Leased = true
+		s.startSessionLocked(rec, movie, true)
+		s.leasesLocked().Touch(rec.ClientID)
+		s.stats.Takeovers++
+		s.ctr.takeovers.Inc()
+		s.cfg.Obs.Event("server.lease_takeover", open.ClientID+" movie="+open.Movie)
+	default:
 		rec := wire.ClientRecord{
 			ClientID:   open.ClientID,
 			ClientAddr: open.ClientAddr,
 			Offset:     0,
 			Rate:       uint16(movie.FPS()),
 			Class:      open.Class,
+			Leased:     open.Lease,
 		}
 		s.startSessionLocked(rec, movie, false)
+		if open.Lease {
+			s.leasesLocked().Touch(rec.ClientID)
+		}
 		s.stats.SessionsOpened++
 		s.ctr.sessionsOpened.Inc()
 		if open.Class == wire.ClassBestEffort {
@@ -678,6 +795,10 @@ func (s *Server) handleOpen(e *openEvent) {
 	if sess := s.sessions[open.ClientID]; sess != nil {
 		group = sess.group // precomputed at session start
 	}
+	ttlMs := uint32(0)
+	if open.Lease {
+		ttlMs = uint32(s.cfg.LeaseTTL.Milliseconds())
+	}
 	s.mu.Unlock()
 	if group == "" { // served elsewhere: no local session to borrow from
 		group = SessionGroup(open.ClientID)
@@ -689,6 +810,7 @@ func (s *Server) handleOpen(e *openEvent) {
 		TotalFrames:  uint32(movie.TotalFrames()),
 		FPS:          uint16(movie.FPS()),
 		SessionGroup: group,
+		LeaseTTLMs:   ttlMs,
 	}
 	_ = s.proc.Send(from, e.enc.Encode(&e.reply))
 

@@ -128,6 +128,16 @@ func (s *Server) startSessionLocked(rec wire.ClientRecord, movie *mpeg.Movie, ta
 		}
 	})
 	sess.group = SessionGroup(clientID)
+	if rec.Leased {
+		// Two-tier membership: a leased session has no session group to
+		// join and no view to wait for — control arrives as direct
+		// datagrams and frames were always point-to-point — so streaming
+		// starts the moment the session exists. The group name is still
+		// reported in the OpenReply for symmetry; nothing joins it.
+		sess.ready = true
+		sess.schedulePacingLocked()
+		return sess
+	}
 	sess.onViewFn = func(v gcs.View) {
 		s.later(func() { s.onSessionView(clientID, gen, v) })
 	}
@@ -441,6 +451,13 @@ func (s *Server) handleSessionMessage(clientID string, _ gcs.ProcessID, payload 
 	if sess == nil || sess.closed {
 		return
 	}
+	s.sessionCtlLocked(sess, clientID, payload)
+}
+
+// sessionCtlLocked executes one client control message against its session
+// — shared by the session-group path and the leased direct path. Caller
+// holds s.mu.
+func (s *Server) sessionCtlLocked(sess *session, clientID string, payload []byte) {
 	// Flow control dominates this channel (one request per granted-rate
 	// adjustment, every client, all session long); decode it into the
 	// session's scratch so the steady state allocates nothing.

@@ -152,6 +152,10 @@ func TableByID(id string, seed int64) (Table, error) {
 		return TableQoS(seed), nil
 	case "capacity":
 		return TableCapacity(seed), nil
+	case "scale":
+		// Not listed in TableIDs: -table all and -list keep their exact
+		// pre-§12 byte output; the two-tier table is opt-in by name.
+		return TableScale(seed), nil
 	case "obs":
 		return TableObservability(seed), nil
 	default:

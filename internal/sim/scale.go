@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/gcs"
+	"repro/internal/mpeg"
+	"repro/internal/netsim"
+	"repro/internal/placement"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/transport"
+)
+
+// TableScale is the two-tier capacity table (DESIGN §12): clusters far past
+// the full-mesh ceiling, reachable only because viewers hold leases instead
+// of group memberships and each movie's virtual-synchrony group is sharded
+// to its consistent-hash arc (Replicas owners) rather than every server.
+// The top row is a sanity size; the bottom row is the headline 50-server /
+// 10,000-viewer configuration. Load points are independent clusters, fanned
+// across cores; every row is deterministic for a given seed regardless of
+// the worker count.
+//
+// The table is reachable via -table scale but deliberately absent from
+// TableIDs: -table all and -list keep their exact pre-§12 output.
+func TableScale(seed int64) Table {
+	return tableScale(seed, []scalePoint{
+		{servers: 10, viewers: 1_000},
+		{servers: 25, viewers: 4_000},
+		{servers: 50, viewers: 10_000},
+	})
+}
+
+type scalePoint struct {
+	servers int
+	viewers int
+}
+
+// tableScale is the parameterized core, shared with the reduced-size tests.
+func tableScale(seed int64, points []scalePoint) Table {
+	t := Table{
+		ID:    "Tbl 2T",
+		Title: "two-tier capacity: sharded movie groups + leased viewers (§12)",
+		Header: []string{
+			"servers", "viewers", "titles", "healthy", "starved",
+			"stalls/healthy viewer", "worst freeze (ticks)", "opens/viewer",
+		},
+	}
+	trials := fanOut(len(points), func(i int) scaleResult {
+		return scaleTrial(seed, points[i].servers, points[i].viewers)
+	})
+	for i, p := range points {
+		res := trials[i]
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(p.servers),
+			strconv.Itoa(p.viewers),
+			strconv.Itoa(p.servers),
+			strconv.Itoa(res.healthy),
+			strconv.Itoa(res.starved),
+			fmt.Sprintf("%.1f", res.stallsPerHealthy),
+			strconv.FormatUint(res.worstFreeze, 10),
+			fmt.Sprintf("%.2f", res.opensPerViewer),
+		})
+	}
+	return t
+}
+
+type scaleResult struct {
+	capacityResult
+	opensPerViewer float64 // 1.00 when every Open lands on the ring owner first
+}
+
+// scaleMovieLen keeps a 10,000-stream trial inside the CI budget: each
+// viewer watches a short feature rather than the 30s one the single-server
+// capacity table uses. Health classification scales with it.
+const scaleMovieLen = 10 * time.Second
+
+// scaleTrial runs nViewers leased viewers against nServers servers sharing
+// one consistent-hash ring. One title per server, stocked only on its arc's
+// Replicas owners; each server joins movie groups solely for the titles it
+// holds, so group size stays at Replicas while the cluster grows. Viewers
+// attach by lease (no session groups at all) with the ring ordering their
+// anycast, arrivals spread over the first two seconds.
+func scaleTrial(seed int64, nServers, nViewers int) scaleResult {
+	const replicas = 2
+	clk := clock.NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	net := netsim.New(clk, seed, netsim.LAN())
+
+	ring := placement.New(placement.DefaultVNodes)
+	serverIDs := make([]string, nServers)
+	for i := range serverIDs {
+		serverIDs[i] = fmt.Sprintf("server-%02d", i)
+		ring.Add(serverIDs[i])
+		// 1 Gbps per server: ~200 streams/server at the headline row needs
+		// ~280 Mbps, so egress is provisioned, not the bottleneck — the
+		// table measures the control plane, not the NIC.
+		net.SetEgressLimit(transport.Addr(serverIDs[i]), 1000*1000*1000/8)
+	}
+
+	// One title per server; each lives only on its arc's owners.
+	titles := make([]string, nServers)
+	catalogs := make(map[string]*store.Catalog, nServers)
+	for _, id := range serverIDs {
+		catalogs[id] = store.NewCatalog()
+	}
+	for i := range titles {
+		titles[i] = fmt.Sprintf("title-%02d", i)
+		movie := mpeg.Generate(titles[i], mpeg.StreamConfig{
+			Duration: scaleMovieLen,
+			Seed:     seed + int64(i),
+		})
+		for _, owner := range ring.LookupN(titles[i], replicas) {
+			catalogs[owner].Add(movie)
+		}
+	}
+
+	servers := make([]*server.Server, 0, nServers)
+	defer func() {
+		for _, s := range servers {
+			s.Stop()
+		}
+	}()
+	for _, id := range serverIDs {
+		srv, err := server.New(server.Config{
+			ID:        id,
+			Clock:     clk,
+			Network:   net,
+			Catalog:   catalogs[id],
+			Peers:     serverIDs,
+			Placement: ring,
+			Replicas:  replicas,
+			// One coalesced timer per server instead of one per group
+			// membership — at 50 servers the difference is the simulation
+			// budget.
+			GCS: gcs.Config{SharedTimers: true},
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := srv.Start(); err != nil {
+			panic(err)
+		}
+		servers = append(servers, srv)
+	}
+	clk.Advance(2 * time.Second) // server core + movie groups converge
+
+	var vs viewerSet
+	vs.reset()
+	defer func() {
+		for _, c := range vs.clients {
+			c.Close()
+		}
+	}()
+	arrivalGap := 2 * time.Second / time.Duration(nViewers)
+	for i := 0; i < nViewers; i++ {
+		c, err := client.New(client.Config{
+			ID:        fmt.Sprintf("viewer-%05d", i),
+			Clock:     clk,
+			Network:   net,
+			Servers:   serverIDs,
+			Lease:     true,
+			Placement: ring,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := c.Watch(titles[i%len(titles)]); err != nil {
+			c.Close()
+			panic(err)
+		}
+		vs.clients = append(vs.clients, c)
+		clk.Advance(arrivalGap)
+	}
+	clk.Advance(scaleMovieLen + 2*time.Second) // play out + drain
+
+	expected := uint64(scaleMovieLen/time.Second) * 30 * 9 / 10
+	vs.harvest()
+	var opens uint64
+	for _, c := range vs.clients {
+		opens += c.Stats().OpensSent
+	}
+	return scaleResult{
+		capacityResult: vs.classify(expected),
+		opensPerViewer: float64(opens) / float64(nViewers),
+	}
+}

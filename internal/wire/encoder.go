@@ -100,8 +100,14 @@ func DecodeOpenInto(m *Open, b []byte) error {
 	keepString(&m.ClientAddr, r.StringBytes())
 	keepString(&m.Movie, r.StringBytes())
 	m.Class = ClassReserved
+	m.Lease, m.Takeover = false, false
 	if r.err == nil && r.Remaining() > 0 {
 		m.Class = Class(r.U8())
+	}
+	if r.err == nil && r.Remaining() > 0 {
+		flags := r.U8()
+		m.Lease = flags&openFlagLease != 0
+		m.Takeover = flags&openFlagTakeover != 0
 	}
 	if err := r.Done(); err != nil {
 		return fmt.Errorf("wire: decoding Open: %w", err)
@@ -124,8 +130,12 @@ func DecodeOpenReplyInto(m *OpenReply, b []byte) error {
 	m.FPS = r.U16()
 	keepString(&m.SessionGroup, r.StringBytes())
 	m.RetryAfterMs = 0
+	m.LeaseTTLMs = 0
 	if r.err == nil && r.Remaining() > 0 {
 		m.RetryAfterMs = r.U32()
+	}
+	if r.err == nil && r.Remaining() > 0 {
+		m.LeaseTTLMs = r.U32()
 	}
 	if err := r.Done(); err != nil {
 		return fmt.Errorf("wire: decoding OpenReply: %w", err)

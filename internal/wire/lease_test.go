@@ -1,0 +1,119 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestOpenLeaseFlagsRoundTrip covers the optional trailing flags byte:
+// every Lease/Takeover/Class combination must survive both decode paths,
+// and flag-free Opens must stay byte-identical to the legacy encoding.
+func TestOpenLeaseFlagsRoundTrip(t *testing.T) {
+	cases := []Open{
+		{ClientID: "c", ClientAddr: "c", Movie: "m"},
+		{ClientID: "c", ClientAddr: "c", Movie: "m", Lease: true},
+		{ClientID: "c", ClientAddr: "c", Movie: "m", Lease: true, Takeover: true},
+		{ClientID: "c", ClientAddr: "c", Movie: "m", Takeover: true},
+		{ClientID: "c", ClientAddr: "c", Movie: "m", Class: ClassBestEffort, Lease: true},
+		{ClientID: "c", ClientAddr: "c", Movie: "m", Class: ClassBestEffort, Lease: true, Takeover: true},
+	}
+	for _, in := range cases {
+		b := Encode(&in)
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%+v: %v", in, err)
+		}
+		if *got.(*Open) != in {
+			t.Fatalf("generic round trip: %+v != %+v", got, in)
+		}
+		scratch := Open{ClientID: "stale", Class: ClassBestEffort, Lease: true, Takeover: true}
+		if err := DecodeOpenInto(&scratch, b); err != nil {
+			t.Fatalf("%+v: DecodeOpenInto: %v", in, err)
+		}
+		if scratch != in {
+			t.Fatalf("into round trip: %+v != %+v", scratch, in)
+		}
+	}
+
+	legacy := Encode(&Open{ClientID: "c", ClientAddr: "c", Movie: "m"})
+	classed := Encode(&Open{ClientID: "c", ClientAddr: "c", Movie: "m", Class: ClassBestEffort})
+	flagged := Encode(&Open{ClientID: "c", ClientAddr: "c", Movie: "m", Lease: true})
+	if len(classed) != len(legacy)+1 {
+		t.Fatalf("class byte: %d vs %d bytes", len(classed), len(legacy))
+	}
+	if len(flagged) != len(legacy)+2 {
+		t.Fatalf("flags force class+flags bytes: %d vs %d", len(flagged), len(legacy))
+	}
+}
+
+// TestOpenReplyLeaseTTLRoundTrip covers the second optional trailing u32:
+// the TTL forces RetryAfterMs out so length disambiguates, and TTL-free
+// replies stay byte-identical to the legacy encoding.
+func TestOpenReplyLeaseTTLRoundTrip(t *testing.T) {
+	cases := []OpenReply{
+		{OK: true, Movie: "m", TotalFrames: 100, FPS: 30, SessionGroup: "g"},
+		{OK: true, Movie: "m", TotalFrames: 100, FPS: 30, SessionGroup: "g", LeaseTTLMs: 2000},
+		{OK: false, Error: "full", Movie: "m", RetryAfterMs: 500},
+		{OK: true, Movie: "m", RetryAfterMs: 500, LeaseTTLMs: 2000},
+	}
+	for _, in := range cases {
+		b := Encode(&in)
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%+v: %v", in, err)
+		}
+		if *got.(*OpenReply) != in {
+			t.Fatalf("generic round trip: %+v != %+v", got, in)
+		}
+		scratch := OpenReply{RetryAfterMs: 9, LeaseTTLMs: 9, Error: "stale"}
+		if err := DecodeOpenReplyInto(&scratch, b); err != nil {
+			t.Fatalf("%+v: DecodeOpenReplyInto: %v", in, err)
+		}
+		if scratch != in {
+			t.Fatalf("into round trip: %+v != %+v", scratch, in)
+		}
+	}
+
+	plain := Encode(&OpenReply{OK: true, Movie: "m", SessionGroup: "g"})
+	ttl := Encode(&OpenReply{OK: true, Movie: "m", SessionGroup: "g", LeaseTTLMs: 2000})
+	if len(ttl) != len(plain)+8 {
+		t.Fatalf("TTL must force both u32s: %d vs %d bytes", len(ttl), len(plain))
+	}
+}
+
+// TestClientRecordLeasedBit covers the lease mark packed into the class
+// block, including the case where Leased alone forces the block out.
+func TestClientRecordLeasedBit(t *testing.T) {
+	in := ClientState{Server: "s1", Clients: []ClientRecord{
+		{ClientID: "a", ClientAddr: "a", Offset: 1, Rate: 30, SentAt: 5, Leased: true},
+		{ClientID: "b", ClientAddr: "b", Offset: 2, Rate: 30, SentAt: 5, Class: ClassBestEffort},
+		{ClientID: "c", ClientAddr: "c", Offset: 3, Rate: 30, SentAt: 5, Class: ClassBestEffort, Leased: true},
+		{ClientID: "d", ClientAddr: "d", Offset: 4, Rate: 30, SentAt: 5},
+	}}
+	got, err := Decode(Encode(&in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := got.(*ClientState)
+	for i, rec := range cs.Clients {
+		if rec != in.Clients[i] {
+			t.Fatalf("record %d: %+v != %+v", i, rec, in.Clients[i])
+		}
+	}
+
+	// An all-reserved, lease-free sync must stay byte-identical to the
+	// legacy block-free encoding.
+	plain := ClientState{Server: "s1", Clients: []ClientRecord{
+		{ClientID: "a", ClientAddr: "a", Offset: 1, Rate: 30, SentAt: 5},
+	}}
+	leased := plain
+	leased.Clients = []ClientRecord{plain.Clients[0]}
+	leased.Clients[0].Leased = true
+	pb, lb := Encode(&plain), Encode(&leased)
+	if len(lb) != len(pb)+1 {
+		t.Fatalf("lease mark must cost exactly the class block: %d vs %d bytes", len(lb), len(pb))
+	}
+	if bytes.Equal(pb, lb) {
+		t.Fatal("leased record encoded identically to unleased")
+	}
+}

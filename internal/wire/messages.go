@@ -133,7 +133,21 @@ type Open struct {
 	ClientAddr string // transport address video frames should be sent to
 	Movie      string // requested movie ID from the catalog
 	Class      Class  // traffic class; encoded only when non-reserved
+	// Lease marks a two-tier (lease-mode) client: it will not join a
+	// session group and keeps the session alive with lease renewals
+	// instead. Travels in an optional trailing flags byte.
+	Lease bool
+	// Takeover marks a starvation re-anycast from a lease-mode client:
+	// the receiving replica may adopt the session from the knowledge
+	// table even though another server nominally holds it.
+	Takeover bool
 }
+
+// Open flag bits (optional trailing flags byte).
+const (
+	openFlagLease    = 1 << 0
+	openFlagTakeover = 1 << 1
+)
 
 var _ Message = (*Open)(nil)
 
@@ -145,9 +159,22 @@ func (m *Open) appendBody(b []byte) []byte {
 	b = AppendString(b, m.ClientAddr)
 	b = AppendString(b, m.Movie)
 	// The class travels as an optional trailing byte so reserved-class
-	// (default) Opens stay byte-identical to the pre-class encoding.
-	if m.Class != ClassReserved {
+	// (default) Opens stay byte-identical to the pre-class encoding. The
+	// lease/takeover flags byte follows it, appended only when some flag
+	// is set (which forces the class byte out too, even when reserved,
+	// so the decoder can position the fields by the remaining length).
+	flags := uint8(0)
+	if m.Lease {
+		flags |= openFlagLease
+	}
+	if m.Takeover {
+		flags |= openFlagTakeover
+	}
+	if m.Class != ClassReserved || flags != 0 {
 		b = AppendU8(b, uint8(m.Class))
+	}
+	if flags != 0 {
+		b = AppendU8(b, flags)
 	}
 	return b
 }
@@ -160,6 +187,11 @@ func decodeOpen(r *Reader) (Message, error) {
 	}
 	if r.Err() == nil && r.Remaining() > 0 {
 		m.Class = Class(r.U8())
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		flags := r.U8()
+		m.Lease = flags&openFlagLease != 0
+		m.Takeover = flags&openFlagTakeover != 0
 	}
 	return m, r.Err()
 }
@@ -176,6 +208,13 @@ type OpenReply struct {
 	// long the client should wait before retrying the Open (milliseconds).
 	// Encoded only when nonzero, as an optional trailing field.
 	RetryAfterMs uint32
+	// LeaseTTLMs, when nonzero on a successful reply to a lease-mode
+	// Open, is the granted lease lifetime (milliseconds): the client
+	// must renew within it or the server reclaims the session. Optional
+	// trailing field after RetryAfterMs; its presence forces
+	// RetryAfterMs out too so the decoder can tell the two apart by the
+	// remaining length.
+	LeaseTTLMs uint32
 }
 
 var _ Message = (*OpenReply)(nil)
@@ -190,8 +229,11 @@ func (m *OpenReply) appendBody(b []byte) []byte {
 	b = AppendU32(b, m.TotalFrames)
 	b = AppendU16(b, m.FPS)
 	b = AppendString(b, m.SessionGroup)
-	if m.RetryAfterMs != 0 {
+	if m.RetryAfterMs != 0 || m.LeaseTTLMs != 0 {
 		b = AppendU32(b, m.RetryAfterMs)
+	}
+	if m.LeaseTTLMs != 0 {
+		b = AppendU32(b, m.LeaseTTLMs)
 	}
 	return b
 }
@@ -207,6 +249,9 @@ func decodeOpenReply(r *Reader) (Message, error) {
 	}
 	if r.Err() == nil && r.Remaining() > 0 {
 		m.RetryAfterMs = r.U32()
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.LeaseTTLMs = r.U32()
 	}
 	return m, r.Err()
 }
@@ -406,7 +451,17 @@ type ClientRecord struct {
 	Departed   bool  // session ended; peers must forget this client
 	SentAt     int64 // sender's clock, unix milliseconds, for ordering
 	Class      Class // traffic class, preserved across takeover
+	// Leased marks a two-tier client attached by lease rather than
+	// session-group membership. Leased clients are excluded from
+	// view-change redistribution (they migrate by re-anycasting) but
+	// their records still sync, so any replica can adopt them. Packed
+	// into the high bit of the optional per-record class byte.
+	Leased bool
 }
+
+// recLeasedBit is the Leased flag inside the optional per-record class
+// byte: low 7 bits carry the Class, the high bit the lease mark.
+const recLeasedBit = 0x80
 
 // ClientState is the state-sync message multicast on a movie group: the
 // periodic half-second sync (a few dozen bytes per client) and, with
@@ -447,18 +502,22 @@ func (m *ClientState) appendBody(b []byte) []byte {
 		b = AppendBool(b, c.Paused)
 		b = AppendBool(b, c.Departed)
 		b = AppendI64(b, c.SentAt)
-		if c.Class != ClassReserved {
+		if c.Class != ClassReserved || c.Leased {
 			classed = true
 		}
 	}
 	// Per-record classes travel as an optional trailing block (one byte per
 	// record, in record order), appended only when some record is
-	// non-reserved — an all-reserved sync stays byte-identical to the
-	// pre-class encoding, keeping SyncBytes and the figures unchanged for
-	// clusters that never use classes.
+	// non-reserved or leased — an all-reserved, lease-free sync stays
+	// byte-identical to the pre-class encoding, keeping SyncBytes and the
+	// figures unchanged for clusters that never use classes or leases.
 	if classed {
 		for i := range m.Clients {
-			b = AppendU8(b, uint8(m.Clients[i].Class))
+			cb := uint8(m.Clients[i].Class) &^ recLeasedBit
+			if m.Clients[i].Leased {
+				cb |= recLeasedBit
+			}
+			b = AppendU8(b, cb)
 		}
 	}
 	return b
@@ -498,7 +557,9 @@ func decodeClientState(r *Reader) (Message, error) {
 	}
 	if r.Remaining() > 0 {
 		for i := range m.Clients {
-			m.Clients[i].Class = Class(r.U8())
+			cb := r.U8()
+			m.Clients[i].Class = Class(cb &^ recLeasedBit)
+			m.Clients[i].Leased = cb&recLeasedBit != 0
 		}
 	}
 	return m, r.Err()

@@ -249,11 +249,12 @@ func TestDecodeRejectsTrailing(t *testing.T) {
 	if _, err := Decode(b); !errors.Is(err, ErrTrailing) {
 		t.Fatalf("Decode with trailing byte = %v, want ErrTrailing", err)
 	}
-	// Open accepts exactly one optional class byte; two extras are trailing.
+	// Open accepts at most two optional bytes (class, then lease flags);
+	// three extras are trailing.
 	o := Encode(&Open{ClientID: "c", ClientAddr: "a", Movie: "m"})
-	o = append(o, 0xFF, 0xFF)
+	o = append(o, 0xFF, 0xFF, 0xFF)
 	if _, err := Decode(o); !errors.Is(err, ErrTrailing) {
-		t.Fatalf("Decode Open with two trailing bytes = %v, want ErrTrailing", err)
+		t.Fatalf("Decode Open with three trailing bytes = %v, want ErrTrailing", err)
 	}
 }
 
