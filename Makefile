@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-short race bench bench-json bench-smoke bench-capacity bench-scale chaos sweep figures tables examples vet fuzz-smoke
+.PHONY: test test-short race bench bench-json bench-smoke bench-capacity bench-scale bench-scale-budget profile-scale chaos sweep figures tables examples vet fuzz-smoke
 
 test:        ## full test suite (includes ~20s of real-clock tests)
 	go test ./...
@@ -40,6 +40,20 @@ bench-scale: ## two-tier 50-server/10k-viewer capacity row, recorded into BENCH_
 	else mv BENCH_scale.tmp BENCH_hotpath.json; fi
 	@rm -f BENCH_scale.tmp
 	@echo "bench-scale: recorded into BENCH_hotpath.json"
+
+bench-scale-budget: ## scale-table benchmark; fails if B/op exceeds the checked-in budget
+	@out=$$(go test -run='^$$' -bench='^BenchmarkTableScale$$' -benchtime=1x -benchmem .) || { echo "$$out"; exit 1; }; \
+	echo "$$out"; \
+	bop=$$(echo "$$out" | awk '/^BenchmarkTableScale/ { for (i = 2; i <= NF; i++) if ($$i == "B/op") print $$(i-1) }'); \
+	budget=$$(grep -v '^#' BENCH_scale_budget); \
+	if [ -z "$$bop" ]; then echo "bench-scale-budget: could not parse B/op from benchmark output"; exit 1; fi; \
+	if [ "$$bop" -gt "$$budget" ]; then echo "bench-scale-budget: FAIL $$bop B/op exceeds budget $$budget"; exit 1; fi; \
+	echo "bench-scale-budget: OK $$bop B/op within budget $$budget"
+
+profile-scale: ## CPU + allocation profiles of the 50-server/10k-viewer table
+	go run ./cmd/vodbench -table scale -cpuprofile scale.cpu.prof -memprofile scale.mem.prof > /dev/null
+	@echo "profile-scale: wrote scale.cpu.prof and scale.mem.prof"
+	@echo "  inspect with: go tool pprof -top scale.cpu.prof"
 
 chaos:       ## seeded fault schedules + invariant checks, race-clean
 	go test -race -short -run 'Chaos|Monkey|Sweep' ./...

@@ -1,0 +1,124 @@
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/mpeg"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// leaseRig builds the smallest two-tier deployment: one server and one
+// leased viewer, the configuration the 10k-viewer scale table instantiates
+// ten thousand times. striped selects the coalesced pacing path.
+func leaseRig(t *testing.T, striped bool) (*clock.Virtual, *server.Server, *client.Client) {
+	t.Helper()
+	clk := clock.NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	net := netsim.New(clk, 1, netsim.LAN())
+	movie := mpeg.Generate("feature", mpeg.StreamConfig{Duration: 10 * time.Minute, Seed: 1})
+	cat := store.NewCatalog()
+	cat.Add(movie)
+	srv, err := server.New(server.Config{
+		ID:            "server-1",
+		Clock:         clk,
+		Network:       net,
+		Catalog:       cat,
+		Peers:         []string{"server-1"},
+		StripedEgress: striped,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		srv.Stop()
+		t.Fatal(err)
+	}
+	clk.Advance(500 * time.Millisecond)
+	c, err := client.New(client.Config{
+		ID:      "viewer-1",
+		Clock:   clk,
+		Network: net,
+		Servers: []string{"server-1"},
+		Lease:   true,
+	})
+	if err != nil {
+		srv.Stop()
+		t.Fatal(err)
+	}
+	return clk, srv, c
+}
+
+// TestAllocsLeasedViewerSetup pins the per-viewer setup cost in lease mode:
+// Open, lease grant, a second of streaming with renewals, graceful stop. At
+// the headline table size this cycle runs ten thousand times per trial, so
+// a stray per-incarnation allocation multiplies straight into the table's
+// footprint. Lease mode involves no group membership — no view change, no
+// knowledge exchange — so the warm budget is far tighter than the
+// session-group pin in TestAllocsSessionSetup.
+func TestAllocsLeasedViewerSetup(t *testing.T) {
+	clk, srv, c := leaseRig(t, true)
+	defer srv.Stop()
+	defer c.Close()
+
+	cycle := func() {
+		if err := c.Watch("feature"); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(1 * time.Second)
+		if st := c.State(); st != client.StateWatching {
+			t.Fatalf("after open: state %v, want watching", st)
+		}
+		if err := c.StopWatching(); err != nil {
+			t.Fatal(err)
+		}
+		// Let the server retire the session and the lease sweep observe it.
+		clk.Advance(2 * time.Second)
+	}
+	for i := 0; i < 8; i++ { // warm the pools on both sides
+		cycle()
+	}
+	allocs := testing.AllocsPerRun(16, cycle)
+
+	// A warm cycle measures ≈55 allocs (sync multicasts of the movie's
+	// single-entry knowledge table dominate); 2× headroom for toolchain
+	// drift while still catching any per-viewer reallocation.
+	const budget = 120
+	if allocs > budget {
+		t.Fatalf("leased viewer setup cycle = %v allocs, budget %d", allocs, budget)
+	}
+	t.Logf("leased viewer setup cycle = %v allocs (budget %d)", allocs, budget)
+}
+
+// TestAllocsStripedStreaming pins the striped egress steady state: with one
+// warm leased viewer streaming under a stripe, a simulated second moves ~30
+// frames through stripe tick → per-session pacing → preframed ref send →
+// delivery, plus renewals and the half-second state sync. The budget is a
+// small constant, far below the frame count, so a single allocation anywhere
+// on the per-frame striped path (the stripe walk, the pacing body, the
+// dense-index network send) would blow it by an order of magnitude.
+func TestAllocsStripedStreaming(t *testing.T) {
+	clk, srv, c := leaseRig(t, true)
+	defer srv.Stop()
+	defer c.Close()
+
+	if err := c.Watch("feature"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Second) // warm: pools, stripe, flow control settled
+
+	before := c.Counters().Displayed
+	allocs := testing.AllocsPerRun(10, func() { clk.Advance(time.Second) })
+	if after := c.Counters().Displayed; after == before {
+		t.Fatal("stream idle during measurement")
+	}
+
+	const budget = 40
+	if allocs > budget {
+		t.Fatalf("striped streaming = %v allocs per simulated second, budget %d", allocs, budget)
+	}
+	t.Logf("striped streaming = %v allocs per simulated second (budget %d)", allocs, budget)
+}

@@ -43,6 +43,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"time"
@@ -62,6 +64,44 @@ func main() {
 
 func run(args []string) error { return runTo(os.Stdout, args) }
 
+// profileTo starts CPU profiling into path (empty = no-op) and returns the
+// stop function. Profiles cover the full run including the parallel sweeps,
+// so a speed round starts from measurements instead of guesses.
+func profileTo(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile dumps an allocation profile to path (empty = no-op).
+func writeHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // settle accounting so the profile reflects live + cumulative allocs
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}
+
 // runTo executes the CLI against an arbitrary writer; the output-
 // equivalence tests capture it to prove -parallel never changes a byte.
 func runTo(out io.Writer, args []string) error {
@@ -75,10 +115,23 @@ func runTo(out io.Writer, args []string) error {
 	classesRun := fs.Bool("classes", false, "execute seeded traffic-class overload trials and check the degrade-before-refuse invariants")
 	runs := fs.Int("runs", 1, "with -chaos/-classes: number of consecutive seeds to run, starting at -seed")
 	parallel := fs.Int("parallel", 0, "worker pool for independent simulation runs — chaos seeds, table trials, figure scenarios (0 = all cores, 1 = sequential)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	sim.SetParallelism(*parallel)
+
+	stopProf, err := profileTo(*cpuprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	defer func() {
+		if err := writeHeapProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "vodbench:", err)
+		}
+	}()
 
 	if *chaosRun {
 		// Seeds fan out across the worker pool; reports stream in seed

@@ -12,6 +12,7 @@ import (
 type Periodic struct {
 	mu      sync.Mutex
 	c       Clock
+	v       *Virtual // non-nil when c is a Virtual: enables the rearm fast path
 	period  time.Duration
 	fn      func()
 	tickFn  func() // p.tick, bound once: a method value allocates per use
@@ -27,6 +28,7 @@ func Every(c Clock, period time.Duration, fn func()) *Periodic {
 		panic("clock: Every requires a positive period")
 	}
 	p := &Periodic{c: c, period: period, fn: fn}
+	p.v, _ = c.(*Virtual)
 	p.tickFn = p.tick
 	p.mu.Lock()
 	p.timer = c.AfterFunc(period, p.tickFn)
@@ -40,10 +42,14 @@ func (p *Periodic) tick() {
 		p.mu.Unlock()
 		return
 	}
-	// The pending timer just fired; recycle its record before re-arming so a
-	// long-lived heartbeat reuses one event record forever.
-	Release(p.timer)
-	p.timer = p.c.AfterFunc(p.period, p.tickFn)
+	// The pending timer just fired; re-arm it so a long-lived heartbeat
+	// reuses one event record forever. On a Virtual clock the record is
+	// re-armed in place under one queue lock; elsewhere it is recycled and
+	// re-issued, which is the same lifecycle in two steps.
+	if p.v == nil || !p.v.rearm(p.timer, p.period) {
+		Release(p.timer)
+		p.timer = p.c.AfterFunc(p.period, p.tickFn)
+	}
 	p.mu.Unlock()
 	p.fn()
 }

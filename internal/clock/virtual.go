@@ -33,7 +33,7 @@ type Virtual struct {
 	nowNanos int64 // now.UnixNano(), cached: bucket keys are integer nanos
 
 	buckets map[int64]*bucket // pending buckets by deadline nanos
-	bq      []*bucket         // min-heap on bucket.nanos (keys are unique)
+	bq      []bqEntry         // min-heap on deadline nanos (keys are unique)
 
 	// Recycled bucket records, segregated by backing so a record whose evs
 	// slice grew past the inline array is preferentially reissued to the
@@ -129,10 +129,18 @@ func (c *Virtual) newEventLocked(d time.Duration, f func(), autoFree bool) *even
 		d = 0
 	}
 	ev := c.takeEventLocked()
-	ev.seq = c.seq
 	ev.fn = f
-	ev.state = statePending
 	ev.autoFree = autoFree
+	c.armLocked(ev, d)
+	return ev
+}
+
+// armLocked stamps a sequence number on ev and files it into the bucket for
+// now+d, creating the bucket if the instant is fresh. Caller holds mu; ev
+// must not be in any bucket.
+func (c *Virtual) armLocked(ev *event, d time.Duration) {
+	ev.seq = c.seq
+	ev.state = statePending
 	c.seq++
 
 	nanos := c.nowNanos + int64(d)
@@ -157,7 +165,39 @@ func (c *Virtual) newEventLocked(d time.Duration, f func(), autoFree bool) *even
 	}
 	b.evs = append(b.evs, ev)
 	c.pending++
-	return ev
+}
+
+// rearm re-arms a timer record from this clock for d from now, reusing the
+// record (and its callback) instead of releasing and re-issuing it. For a
+// fired timer this is exactly equivalent to Release followed by AfterFunc
+// with the same fn — Release would push the record onto the free-list head
+// and AfterFunc would pop that same record straight back, with one sequence
+// number consumed either way — so replay order is untouched; it just skips
+// the second lock round trip and the free-list churn. Returns false if the
+// record is not reusable (foreign clock, or already released), in which case
+// the caller must fall back to the two-step path.
+func (c *Virtual) rearm(t Timer, d time.Duration) bool {
+	ev, ok := t.(*event)
+	if !ok || ev.c != c {
+		return false
+	}
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch ev.state {
+	case statePending:
+		c.unlinkLocked(ev)
+	case stateFired:
+		// Not queued; the record and its fn are intact and reusable.
+	default:
+		// stateStopped cleared fn; stateFree records may already back an
+		// unrelated timer. Neither is safely re-armable.
+		return false
+	}
+	c.armLocked(ev, d)
+	return true
 }
 
 // takeBucketLocked issues a bucket record, preferring a grown one for
@@ -242,21 +282,21 @@ func (c *Virtual) takeLocked(limitNanos int64, limited bool) func() {
 		if len(c.bq) == 0 {
 			return nil
 		}
-		b := c.bq[0]
+		if limited && c.bq[0].nanos > limitNanos {
+			return nil
+		}
+		b := c.bq[0].b
 		if b.cur == len(b.evs) {
 			c.removeBucketLocked(b) // fully consumed; lazily reclaimed here
 			continue
 		}
-		if limited && b.nanos > limitNanos {
-			return nil
-		}
-		ev := b.evs[b.cur]
-		b.evs[b.cur] = nil
-		b.cur++
 		if b.nanos > c.nowNanos {
 			c.now = b.when
 			c.nowNanos = b.nanos
 		}
+		ev := b.evs[b.cur]
+		b.evs[b.cur] = nil
+		b.cur++
 		c.runs++
 		c.pending--
 		ev.state = stateFired
@@ -355,7 +395,7 @@ func (c *Virtual) removeBucketLocked(b *bucket) {
 	i := b.index
 	last := len(c.bq) - 1
 	c.swapLocked(i, last)
-	c.bq[last] = nil
+	c.bq[last] = bqEntry{}
 	c.bq = c.bq[:last]
 	b.index = -1
 	if i < last {
@@ -444,26 +484,36 @@ func Release(t Timer) {
 	c.recycleLocked(ev)
 }
 
-// Heap primitives: a standard binary min-heap over buckets keyed on their
-// integer deadline, kept inline (no container/heap) so Push/Pop stay
-// monomorphic and allocation-free. Keys are unique — one bucket per instant
-// — so no tie-break is needed.
+// Heap primitives: a 4-ary min-heap over buckets keyed on their integer
+// deadline, kept inline (no container/heap) so Push/Pop stay monomorphic and
+// allocation-free. Keys are unique — one bucket per instant — so no
+// tie-break is needed, and any heap arity pops the same order. Each entry
+// carries its key beside the bucket pointer so sift comparisons walk the
+// contiguous heap slice instead of dereferencing a cold bucket record per
+// compare; four-way branching then halves the sift depth, trading compares
+// that share a cache line for pointer hops that don't.
+
+// bqEntry is one heap slot: the owning bucket and a copy of its deadline.
+type bqEntry struct {
+	nanos int64
+	b     *bucket
+}
 
 func (c *Virtual) swapLocked(i, j int) {
 	c.bq[i], c.bq[j] = c.bq[j], c.bq[i]
-	c.bq[i].index = i
-	c.bq[j].index = j
+	c.bq[i].b.index = i
+	c.bq[j].b.index = j
 }
 
 func (c *Virtual) pushBucketLocked(b *bucket) {
 	b.index = len(c.bq)
-	c.bq = append(c.bq, b)
+	c.bq = append(c.bq, bqEntry{nanos: b.nanos, b: b})
 	c.upLocked(b.index)
 }
 
 func (c *Virtual) upLocked(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / 4
 		if c.bq[i].nanos >= c.bq[parent].nanos {
 			break
 		}
@@ -475,13 +525,19 @@ func (c *Virtual) upLocked(i int) {
 func (c *Virtual) downLocked(i int) {
 	n := len(c.bq)
 	for {
-		left := 2*i + 1
-		if left >= n {
+		first := 4*i + 1
+		if first >= n {
 			return
 		}
-		least := left
-		if right := left + 1; right < n && c.bq[right].nanos < c.bq[left].nanos {
-			least = right
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		least := first
+		for k := first + 1; k < last; k++ {
+			if c.bq[k].nanos < c.bq[least].nanos {
+				least = k
+			}
 		}
 		if c.bq[least].nanos >= c.bq[i].nanos {
 			return

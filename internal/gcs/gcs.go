@@ -206,17 +206,24 @@ type Process struct {
 const maxBufFree = 256
 
 // getBufLocked returns an empty buffer with at least n bytes of capacity,
-// reusing a recycled payload buffer when one is large enough.
+// reusing a recycled payload buffer when one is large enough. A too-small
+// buffer stays on the free list rather than being discarded, and fresh
+// allocations round up to a power of two: state-sync payloads grow steadily
+// as viewers join, and exact-size allocation would make every request miss
+// the list by a few bytes forever.
 func (p *Process) getBufLocked(n int) []byte {
 	if k := len(p.bufFree); k > 0 {
-		b := p.bufFree[k-1]
-		p.bufFree[k-1] = nil
-		p.bufFree = p.bufFree[:k-1]
-		if cap(b) >= n {
+		if b := p.bufFree[k-1]; cap(b) >= n {
+			p.bufFree[k-1] = nil
+			p.bufFree = p.bufFree[:k-1]
 			return b[:0]
 		}
 	}
-	return make([]byte, 0, n)
+	c := 64
+	for c < n {
+		c *= 2
+	}
+	return make([]byte, 0, c)
 }
 
 // putBufLocked recycles a payload buffer. Callers must guarantee no alias

@@ -6,6 +6,14 @@
 // scheduled on a clock.Clock; with a Virtual clock and a fixed seed, every
 // run is exactly reproducible.
 //
+// Internally every address is interned to a dense integer ID the first time
+// it is seen; endpoints, egress queues and per-pair link state live in flat
+// slices indexed by ID, so the per-packet send path never hashes an address
+// string. Senders that pre-resolve their destination (transport.RefResolver /
+// RefSender) skip the one remaining map lookup too. Only the sparse fault
+// state — profile overrides and blocked links — stays in (ID-pair-keyed)
+// maps, off the common path.
+//
 // The simulator also provides the fault-injection surface the evaluation
 // scenarios need: abrupt node crashes, link failures and network partitions.
 package netsim
@@ -73,15 +81,27 @@ type Stats struct {
 type Network struct {
 	clk clock.Clock
 
-	mu        sync.Mutex
-	rng       *rand.Rand
-	def       Profile
-	overrides map[pair]Profile
-	nodes     map[transport.Addr]*endpoint
-	blocked   map[pair]bool
-	links     map[pair]linkState
-	egress    map[transport.Addr]int64 // shared NIC rate, bytes/s (0 = none)
-	egressQ   map[transport.Addr]linkState
+	mu  sync.Mutex
+	rng *rand.Rand
+	def Profile
+
+	// Address interning: ids maps an address to its dense ID; the slices
+	// below are all indexed by that ID and grow together. IDs are never
+	// reused — a crashed-and-rebound address keeps its ID, so in-flight
+	// deliveries reach the new incarnation exactly as before.
+	ids        map[transport.Addr]int32
+	addrs      []transport.Addr
+	eps        []*endpoint // nil = address known but never bound
+	egressRate []int64     // shared NIC rate, bytes/s (0 = none)
+	egressNext []int64     // when the NIC finishes its queue, unix nanos (≤ now = drained)
+	rows       []linkRow   // per-sender serialization state of bandwidth-limited links
+	live       int         // endpoints currently open, sizes the sweep period
+
+	// Sparse fault state, keyed by ID pair: empty in a healthy run, so the
+	// send path skips both lookups entirely.
+	overrides map[idPair]Profile
+	blocked   map[idPair]bool
+
 	extraLoss float64 // network-wide additional drop probability (loss burst)
 	// Free lists of delivery events (the packet buffer pool), segregated
 	// by buffer size class: a mixed list keeps handing records that last
@@ -104,10 +124,104 @@ type Network struct {
 
 var _ transport.Network = (*Network)(nil)
 
-type pair struct{ from, to transport.Addr }
+type idPair struct{ from, to int32 }
 
-type linkState struct {
-	nextFree time.Time // when the link finishes serializing queued packets
+// smallRowMax is the destination count at which a sender's link row promotes
+// from a linearly scanned pair of small slices to a dense array indexed by
+// destination ID. Viewers talk to a handful of servers and stay small; a
+// server streaming to thousands of viewers promotes once and then indexes.
+const smallRowMax = 16
+
+// linkRow holds one sender's per-destination link serialization horizons
+// (unix nanos; ≤ now means the link is drained, same as absent). Small rows
+// are parallel slices scanned linearly; rows with many destinations use a
+// dense slice indexed by destination ID.
+type linkRow struct {
+	toIDs []int32
+	next  []int64
+	dense []int64
+}
+
+// bump advances the serialization horizon of the link to `to`: start at
+// max(now, nextFree), add ser, store and return the new horizon. ids is the
+// current interned-address count, sizing a promoted dense row.
+func (r *linkRow) bump(to int32, now, ser int64, ids int) int64 {
+	if r.dense != nil {
+		if int(to) >= len(r.dense) {
+			// Interning assigns IDs monotonically, so a promoted row sees
+			// ever-higher destinations while the cluster fills in; grow to a
+			// power of two above the current ID count so the row reallocates
+			// O(log n) times instead of once per new destination.
+			size := len(r.dense) * 2
+			for size < ids {
+				size *= 2
+			}
+			grown := make([]int64, size)
+			copy(grown, r.dense)
+			r.dense = grown
+		}
+		nf := r.dense[to]
+		if now > nf {
+			nf = now
+		}
+		nf += ser
+		r.dense[to] = nf
+		return nf
+	}
+	for i, t := range r.toIDs {
+		if t == to {
+			nf := r.next[i]
+			if now > nf {
+				nf = now
+			}
+			nf += ser
+			r.next[i] = nf
+			return nf
+		}
+	}
+	nf := now + ser
+	if len(r.toIDs) < smallRowMax {
+		r.toIDs = append(r.toIDs, to)
+		r.next = append(r.next, nf)
+		return nf
+	}
+	d := make([]int64, ids)
+	for i, t := range r.toIDs {
+		d[t] = r.next[i]
+	}
+	d[to] = nf
+	r.dense = d
+	r.toIDs, r.next = nil, nil
+	return nf
+}
+
+// reap drops entries whose serialization queue has drained (horizon ≤ now).
+// An idle entry behaves identically to an absent one, so this is invisible
+// to the simulation; horizons still in the future are kept — they encode
+// real queueing that must survive even the sender's crash (the packets
+// already left the NIC).
+func (r *linkRow) reap(now int64) {
+	if r.dense != nil {
+		for _, nf := range r.dense {
+			if nf > now {
+				return
+			}
+		}
+		r.dense = nil
+		return
+	}
+	k := 0
+	for i, nf := range r.next {
+		if nf > now {
+			r.toIDs[k], r.next[k] = r.toIDs[i], nf
+			k++
+		}
+	}
+	if k == 0 {
+		r.toIDs, r.next = nil, nil
+		return
+	}
+	r.toIDs, r.next = r.toIDs[:k], r.next[:k]
 }
 
 // New creates a network on clk with the given default link profile. All
@@ -117,15 +231,28 @@ func New(clk clock.Clock, seed int64, def Profile) *Network {
 		clk:       clk,
 		rng:       rand.New(rand.NewSource(seed)),
 		def:       def,
-		overrides: make(map[pair]Profile),
-		nodes:     make(map[transport.Addr]*endpoint),
-		blocked:   make(map[pair]bool),
-		links:     make(map[pair]linkState),
-		egress:    make(map[transport.Addr]int64),
-		egressQ:   make(map[transport.Addr]linkState),
+		ids:       make(map[transport.Addr]int32),
+		overrides: make(map[idPair]Profile),
+		blocked:   make(map[idPair]bool),
 	}
 	n.SetObs(nil)
 	return n
+}
+
+// internLocked returns the dense ID for addr, assigning the next one (and
+// growing every ID-indexed slice) on first sight. Caller holds n.mu.
+func (n *Network) internLocked(addr transport.Addr) int32 {
+	if id, ok := n.ids[addr]; ok {
+		return id
+	}
+	id := int32(len(n.addrs))
+	n.ids[addr] = id
+	n.addrs = append(n.addrs, addr)
+	n.eps = append(n.eps, nil)
+	n.egressRate = append(n.egressRate, 0)
+	n.egressNext = append(n.egressNext, 0)
+	n.rows = append(n.rows, linkRow{})
+	return id
 }
 
 // SetObs attaches an observability registry: the network-wide counters are
@@ -149,11 +276,12 @@ func (n *Network) SetObs(reg *obs.Registry) {
 func (n *Network) SetEgressLimit(addr transport.Addr, bytesPerSec int64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	id := n.internLocked(addr)
 	if bytesPerSec <= 0 {
-		delete(n.egress, addr)
+		n.egressRate[id] = 0
 		return
 	}
-	n.egress[addr] = bytesPerSec
+	n.egressRate[id] = bytesPerSec
 }
 
 // NewEndpoint implements transport.Network. An address whose previous
@@ -164,11 +292,13 @@ func (n *Network) SetEgressLimit(addr transport.Addr, bytesPerSec int64) {
 func (n *Network) NewEndpoint(addr transport.Addr) (transport.Endpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if old, ok := n.nodes[addr]; ok && !old.closed {
+	id := n.internLocked(addr)
+	if old := n.eps[id]; old != nil && !old.closed {
 		return nil, fmt.Errorf("netsim: bind %q: %w", addr, transport.ErrAddrInUse)
 	}
-	ep := &endpoint{net: n, addr: addr}
-	n.nodes[addr] = ep
+	ep := &endpoint{net: n, addr: addr, id: id}
+	n.eps[id] = ep
+	n.live++
 	return ep, nil
 }
 
@@ -176,7 +306,7 @@ func (n *Network) NewEndpoint(addr transport.Addr) (transport.Endpoint, error) {
 func (n *Network) SetProfile(from, to transport.Addr, p Profile) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.overrides[pair{from, to}] = p
+	n.overrides[idPair{n.internLocked(from), n.internLocked(to)}] = p
 }
 
 // SetDefaultProfile replaces the profile used by links with no override.
@@ -191,13 +321,14 @@ func (n *Network) SetDefaultProfile(p Profile) {
 func (n *Network) SetLinkDown(a, b transport.Addr, down bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	ai, bi := n.internLocked(a), n.internLocked(b)
 	if down {
-		n.blocked[pair{a, b}] = true
-		n.blocked[pair{b, a}] = true
+		n.blocked[idPair{ai, bi}] = true
+		n.blocked[idPair{bi, ai}] = true
 		n.obs.Event("netsim.link_down", string(a)+" <-> "+string(b))
 	} else {
-		delete(n.blocked, pair{a, b})
-		delete(n.blocked, pair{b, a})
+		delete(n.blocked, idPair{ai, bi})
+		delete(n.blocked, idPair{bi, ai})
 		n.obs.Event("netsim.link_up", string(a)+" <-> "+string(b))
 	}
 }
@@ -209,11 +340,12 @@ func (n *Network) SetLinkDown(a, b transport.Addr, down bool) {
 func (n *Network) SetLinkOneWayDown(from, to transport.Addr, down bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	key := idPair{n.internLocked(from), n.internLocked(to)}
 	if down {
-		n.blocked[pair{from, to}] = true
+		n.blocked[key] = true
 		n.obs.Event("netsim.link_down", string(from)+" -> "+string(to))
 	} else {
-		delete(n.blocked, pair{from, to})
+		delete(n.blocked, key)
 		n.obs.Event("netsim.link_up", string(from)+" -> "+string(to))
 	}
 }
@@ -255,7 +387,7 @@ func (n *Network) Partition(groups ...[]transport.Addr) {
 			}
 			for _, a := range groups[i] {
 				for _, b := range groups[j] {
-					n.blocked[pair{a, b}] = true
+					n.blocked[idPair{n.internLocked(a), n.internLocked(b)}] = true
 				}
 			}
 		}
@@ -267,7 +399,7 @@ func (n *Network) Heal() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.obs.Event("netsim.heal", "all blocks cleared")
-	n.blocked = make(map[pair]bool)
+	n.blocked = make(map[idPair]bool)
 }
 
 // Crash makes the node at addr fail-stop: its endpoint is closed and all
@@ -276,7 +408,10 @@ func (n *Network) Heal() {
 // NewEndpoint — a cold restart of the node.
 func (n *Network) Crash(addr transport.Addr) {
 	n.mu.Lock()
-	ep := n.nodes[addr]
+	var ep *endpoint
+	if id, ok := n.ids[addr]; ok {
+		ep = n.eps[id]
+	}
 	n.obs.Event("netsim.crash", string(addr))
 	n.mu.Unlock()
 	if ep != nil {
@@ -291,33 +426,34 @@ func (n *Network) Stats() Stats {
 	return n.stats
 }
 
-// send is called by endpoints with the sender's address already validated.
-// When stable is true the payload is caller-guaranteed immutable and the
-// delivery aliases it instead of copying; the loss/duplication/timing path is
-// identical either way (same RNG draws, same serialization on len(payload)),
-// so a run using stable sends replays byte-for-byte like one that copies.
-func (n *Network) send(from, to transport.Addr, payload []byte, stable bool) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-
+// sendLocked runs the routing/loss/timing pipeline for one packet, with both
+// addresses already resolved to IDs (to may be -1: address never interned).
+// toAddr is only used to format the no-route error. When stable is true the
+// payload is caller-guaranteed immutable and the delivery aliases it instead
+// of copying; the loss/duplication/timing path is identical either way (same
+// RNG draws, same serialization on len(payload)), so a run using stable
+// sends replays byte-for-byte like one that copies.
+func (n *Network) sendLocked(from, to int32, toAddr transport.Addr, payload []byte, stable bool) error {
 	n.stats.Sent++
 	n.ctrSent.Inc()
-	if _, ok := n.nodes[to]; !ok {
-		// Sending to an address that never existed is a harness bug;
-		// sending to a crashed node is normal (its entry is kept, closed).
+	if to < 0 || n.eps[to] == nil {
+		// Sending to an address that was never bound is a harness bug;
+		// sending to a crashed node is normal (its endpoint is kept, closed).
 		n.stats.Dropped++
 		n.ctrDrop.Inc()
-		return fmt.Errorf("netsim: send %s→%s: %w", from, to, transport.ErrNoRoute)
+		return fmt.Errorf("netsim: send %s→%s: %w", n.addrs[from], toAddr, transport.ErrNoRoute)
 	}
-	if n.blocked[pair{from, to}] {
+	if len(n.blocked) > 0 && n.blocked[idPair{from, to}] {
 		n.stats.Dropped++
 		n.ctrDrop.Inc()
 		return nil // silently lost, like a partitioned UDP packet
 	}
 
-	prof, ok := n.overrides[pair{from, to}]
-	if !ok {
-		prof = n.def
+	prof := n.def
+	if len(n.overrides) > 0 {
+		if p, ok := n.overrides[idPair{from, to}]; ok {
+			prof = p
+		}
 	}
 	if prof.Loss > 0 && n.rng.Float64() < prof.Loss {
 		n.stats.Dropped++
@@ -355,7 +491,7 @@ func (n *Network) send(from, to transport.Addr, payload []byte, stable bool) err
 // which is what the transport.Handler copy-on-retain rule licenses.
 type delivery struct {
 	n        *Network
-	from, to transport.Addr
+	from, to int32
 	data     []byte    // what the handler receives: either buf or a stable alias
 	buf      []byte    // pool-owned copy buffer, reused across packets
 	fn       func()    // d.run, bound once: a method value allocates per use
@@ -372,7 +508,7 @@ const deliverySlabSize = 128
 // the current slab) and loads it with the payload: a copy into the record's
 // own buffer normally, or a direct alias when the caller guaranteed the
 // payload immutable. Caller holds n.mu.
-func (n *Network) newDeliveryLocked(from, to transport.Addr, payload []byte, stable bool) *delivery {
+func (n *Network) newDeliveryLocked(from, to int32, payload []byte, stable bool) *delivery {
 	list := &n.freeD
 	if !stable && len(payload) > smallBufMax {
 		list = &n.freeDBig
@@ -423,7 +559,7 @@ const smallBufMax = 512
 // Caller holds n.mu; the delivery's timer must have fired already.
 func (d *delivery) recycleLocked() {
 	n := d.n
-	d.from, d.to = "", ""
+	d.from, d.to = 0, 0
 	d.data = nil
 	if cap(d.buf) > smallBufMax {
 		d.next = n.freeDBig
@@ -440,7 +576,7 @@ func (d *delivery) recycleLocked() {
 func (d *delivery) run() {
 	n := d.n
 	n.mu.Lock()
-	ep := n.nodes[d.to]
+	ep := n.eps[d.to]
 	var h transport.Handler
 	if ep != nil && !ep.closed {
 		h = ep.handler
@@ -456,7 +592,7 @@ func (d *delivery) run() {
 	n.stats.Bytes += uint64(len(d.data))
 	n.ctrDeliv.Inc()
 	n.ctrBytes.Add(uint64(len(d.data)))
-	from, data := d.from, d.data
+	from, data := n.addrs[d.from], d.data
 	n.mu.Unlock()
 	h(from, data)
 	n.mu.Lock()
@@ -465,49 +601,47 @@ func (d *delivery) run() {
 }
 
 // transitTimeLocked computes the packet's total time in the network,
-// accounting for serialization queueing on the directed link.
-func (n *Network) transitTimeLocked(from, to transport.Addr, prof Profile, size int) time.Duration {
+// accounting for serialization queueing on the directed link. Horizons are
+// unix nanoseconds; the arithmetic is exactly the time.Time math the
+// map-based implementation used, so schedules replay unchanged.
+func (n *Network) transitTimeLocked(from, to int32, prof Profile, size int) time.Duration {
 	delay := prof.Delay
 	if prof.Jitter > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(prof.Jitter)))
 	}
-	if rate := n.egress[from]; rate > 0 {
-		eq := n.egressQ[from] // zero value = drained link, same as absent
-		now := n.clk.Now()
+	rate := n.egressRate[from]
+	if rate <= 0 && prof.Bandwidth <= 0 {
+		return delay
+	}
+	now := n.clk.Now().UnixNano()
+	if rate > 0 {
 		start := now
-		if eq.nextFree.After(start) {
-			start = eq.nextFree
+		if nf := n.egressNext[from]; nf > start {
+			start = nf
 		}
-		ser := time.Duration(int64(size) * int64(time.Second) / rate)
-		eq.nextFree = start.Add(ser)
-		n.egressQ[from] = eq
-		delay += eq.nextFree.Sub(now)
+		nf := start + int64(size)*int64(time.Second)/rate
+		n.egressNext[from] = nf
+		delay += time.Duration(nf - now)
 	}
 	if prof.Bandwidth > 0 {
-		key := pair{from, to}
-		ls := n.links[key] // zero value = drained link, same as absent
-		now := n.clk.Now()
-		start := now
-		if ls.nextFree.After(start) {
-			start = ls.nextFree
-		}
-		ser := time.Duration(int64(size) * int64(time.Second) / prof.Bandwidth)
-		ls.nextFree = start.Add(ser)
-		n.links[key] = ls
-		delay += ls.nextFree.Sub(now)
+		ser := int64(size) * int64(time.Second) / prof.Bandwidth
+		nf := n.rows[from].bump(to, now, ser, len(n.addrs))
+		delay += time.Duration(nf - now)
 	}
 	return delay
 }
 
-// sweepPeriod is how many sends pass between stale-link sweeps. Sweeping is
-// amortized rather than per-send because a sweep walks every tracked link.
+// sweepPeriod is the floor on how many sends pass between stale-link sweeps.
+// Sweeping is amortized rather than per-send because a sweep walks every
+// tracked link; the actual period scales with the live-endpoint count so a
+// 10k-viewer run doesn't sweep 10k rows every 4096 sends.
 const sweepPeriod = 4096
 
-// maybeSweepLocked occasionally prunes link and egress-queue entries whose
-// serialization queue has already drained (nextFree in the past): an idle
+// maybeSweepLocked occasionally prunes link and egress-queue state whose
+// serialization queue has already drained (horizon in the past): an idle
 // entry behaves identically to an absent one, so dropping it is invisible to
 // the simulation, and long capacity sweeps across many node pairs no longer
-// accumulate dead link state forever. Deletion is order-independent and
+// accumulate dead link state forever. Reaping is order-independent and
 // consumes no randomness, so replays are unaffected. Caller holds n.mu.
 func (n *Network) maybeSweepLocked() {
 	n.sweepIn--
@@ -515,15 +649,16 @@ func (n *Network) maybeSweepLocked() {
 		return
 	}
 	n.sweepIn = sweepPeriod
-	now := n.clk.Now()
-	for key, ls := range n.links {
-		if !ls.nextFree.After(now) {
-			delete(n.links, key)
-		}
+	if p := 8 * n.live; p > n.sweepIn {
+		n.sweepIn = p
 	}
-	for addr, eq := range n.egressQ {
-		if !eq.nextFree.After(now) {
-			delete(n.egressQ, addr)
+	now := n.clk.Now().UnixNano()
+	for i := range n.rows {
+		n.rows[i].reap(now)
+	}
+	for i, nf := range n.egressNext {
+		if nf != 0 && nf <= now {
+			n.egressNext[i] = 0
 		}
 	}
 }
@@ -531,6 +666,7 @@ func (n *Network) maybeSweepLocked() {
 type endpoint struct {
 	net  *Network
 	addr transport.Addr
+	id   int32
 
 	// handler and closed are guarded by net.mu: endpoint state changes
 	// must be ordered with packet deliveries, which hold that lock.
@@ -541,6 +677,8 @@ type endpoint struct {
 var (
 	_ transport.Endpoint     = (*endpoint)(nil)
 	_ transport.StableSender = (*endpoint)(nil)
+	_ transport.RefResolver  = (*endpoint)(nil)
+	_ transport.RefSender    = (*endpoint)(nil)
 )
 
 func (e *endpoint) Addr() transport.Addr { return e.addr }
@@ -557,17 +695,62 @@ func (e *endpoint) SendStable(to transport.Addr, payload []byte) error {
 	return e.send(to, payload, true)
 }
 
+// ResolveAddr implements transport.RefResolver: the returned reference is
+// the address's dense ID, valid for the network's lifetime across crashes
+// and rebinds.
+func (e *endpoint) ResolveAddr(to transport.Addr) transport.AddrRef {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	return transport.AddrRef(e.net.internLocked(to))
+}
+
+// SendRef implements transport.RefSender; identical to Send with the
+// referenced address.
+func (e *endpoint) SendRef(to transport.AddrRef, payload []byte) error {
+	return e.sendRef(to, payload, false)
+}
+
+// SendStableRef implements transport.RefSender; identical to SendStable
+// with the referenced address.
+func (e *endpoint) SendStableRef(to transport.AddrRef, payload []byte) error {
+	return e.sendRef(to, payload, true)
+}
+
 func (e *endpoint) send(to transport.Addr, payload []byte, stable bool) error {
 	if len(payload) > transport.MaxDatagram {
 		return fmt.Errorf("netsim: send to %s: %w", to, transport.ErrTooLarge)
 	}
-	e.net.mu.Lock()
-	closed := e.closed
-	e.net.mu.Unlock()
-	if closed {
+	n := e.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e.closed {
 		return transport.ErrClosed
 	}
-	return e.net.send(e.addr, to, payload, stable)
+	toID := int32(-1)
+	if id, ok := n.ids[to]; ok {
+		toID = id
+	}
+	return n.sendLocked(e.id, toID, to, payload, stable)
+}
+
+func (e *endpoint) sendRef(to transport.AddrRef, payload []byte, stable bool) error {
+	if len(payload) > transport.MaxDatagram {
+		return fmt.Errorf("netsim: send to ref#%d: %w", to, transport.ErrTooLarge)
+	}
+	n := e.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e.closed {
+		return transport.ErrClosed
+	}
+	if to < 0 || int(to) >= len(n.eps) {
+		n.stats.Sent++
+		n.ctrSent.Inc()
+		n.stats.Dropped++
+		n.ctrDrop.Inc()
+		return fmt.Errorf("netsim: send %s→ref#%d: %w", e.addr, to, transport.ErrNoRoute)
+	}
+	return n.sendLocked(e.id, int32(to), n.addrs[to], payload, stable)
 }
 
 func (e *endpoint) SetHandler(h transport.Handler) {
@@ -576,11 +759,25 @@ func (e *endpoint) SetHandler(h transport.Handler) {
 	e.handler = h
 }
 
+// Close shuts the endpoint down. Its drained link and egress state is reaped
+// immediately (drained entries are semantically absent, so this is invisible
+// to replays); horizons still booked into the future are kept — they model
+// packets that already left the NIC and must still shape later traffic
+// exactly as they did before the node went away.
 func (e *endpoint) Close() error {
-	e.net.mu.Lock()
-	defer e.net.mu.Unlock()
-	e.closed = true
-	e.handler = nil
+	n := e.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !e.closed {
+		e.closed = true
+		e.handler = nil
+		n.live--
+		now := n.clk.Now().UnixNano()
+		n.rows[e.id].reap(now)
+		if nf := n.egressNext[e.id]; nf != 0 && nf <= now {
+			n.egressNext[e.id] = 0
+		}
+	}
 	return nil
 }
 
@@ -589,15 +786,19 @@ func (e *endpoint) Close() error {
 func (n *Network) EgressBacklog(addr transport.Addr) time.Duration {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	eq, ok := n.egressQ[addr]
+	id, ok := n.ids[addr]
 	if !ok {
 		return 0
 	}
-	d := eq.nextFree.Sub(n.clk.Now())
-	if d <= 0 {
-		// Queue already drained: equivalent to no entry, so prune it.
-		delete(n.egressQ, addr)
+	nf := n.egressNext[id]
+	if nf == 0 {
 		return 0
 	}
-	return d
+	d := nf - n.clk.Now().UnixNano()
+	if d <= 0 {
+		// Queue already drained: equivalent to no entry, so prune it.
+		n.egressNext[id] = 0
+		return 0
+	}
+	return time.Duration(d)
 }

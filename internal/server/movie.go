@@ -2,6 +2,7 @@ package server
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/clock"
 	"repro/internal/gcs"
@@ -36,6 +37,20 @@ type movieState struct {
 	exchangeTimer clock.Timer
 
 	syncTask *clock.Periodic
+
+	// recScratch and syncState are the periodic sync's reusable snapshot
+	// and message scratch, guarded by srv.mu. At cluster scale a sync fires
+	// per open and per half second per movie; without the reuse each tick
+	// allocates a fresh record slice and message.
+	recScratch []wire.ClientRecord
+	syncState  wire.ClientState
+
+	// syncBuf is the sync packet's reusable encode buffer. Multicast copies
+	// the payload before returning, but the buffer stays aliased until it
+	// does — after srv.mu is released — so sendMu (acquired inside srv.mu,
+	// held across the send) guards it rather than srv.mu.
+	sendMu  sync.Mutex
+	syncBuf []byte
 }
 
 // syncTick is the half-second state multicast: this server's live sessions
@@ -58,8 +73,10 @@ func (ms *movieState) syncTick() {
 	for _, rec := range recs {
 		ms.clients[rec.ClientID] = rec
 	}
-	msg := &wire.ClientState{Server: s.cfg.ID, Clients: recs}
-	pkt := wire.Encode(msg)
+	ms.syncState = wire.ClientState{Server: s.cfg.ID, Clients: recs}
+	ms.sendMu.Lock()
+	pkt := wire.AppendMessage(ms.syncBuf[:0], &ms.syncState)
+	ms.syncBuf = pkt[:0]
 	s.stats.SyncMessages++
 	s.stats.SyncBytes += uint64(len(pkt))
 	s.ctr.syncMessages.Inc()
@@ -70,13 +87,16 @@ func (ms *movieState) syncTick() {
 	if member != nil {
 		_ = member.Multicast(pkt)
 	}
+	ms.sendMu.Unlock()
 }
 
 // ownRecordsLocked snapshots the live state of this server's sessions for
-// this movie. Caller holds srv.mu.
+// this movie into the movie's reusable scratch slice: the snapshot is only
+// referenced until the next sync tick (merged by value, encoded to a fresh
+// packet), so reusing the backing array is safe. Caller holds srv.mu.
 func (ms *movieState) ownRecordsLocked() []wire.ClientRecord {
 	now := ms.srv.cfg.Clock.Now().UnixMilli()
-	var recs []wire.ClientRecord
+	recs := ms.recScratch[:0]
 	for _, sess := range ms.srv.sessions {
 		if sess.movie.ID() != ms.movie.ID() || sess.closed {
 			continue
@@ -86,6 +106,7 @@ func (ms *movieState) ownRecordsLocked() []wire.ClientRecord {
 		recs = append(recs, rec)
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].ClientID < recs[j].ClientID })
+	ms.recScratch = recs
 	return recs
 }
 
@@ -337,17 +358,52 @@ func Assign(clients []string, order []gcs.ProcessID) map[string]gcs.ProcessID {
 	return out
 }
 
-// onMovieGroupMessage decodes and routes a movie-group multicast.
+// csEvent defers one decoded state-sync message to its own clock event —
+// the same one-AfterFunc-per-message scheduling as the closure it replaces,
+// but with the record, its decoded message (including the Clients backing
+// array) and the bound fire closure pooled. Paired with the interning
+// decode, a warm sync cycle allocates nothing on the receive side.
+type csEvent struct {
+	ms   *movieState
+	from gcs.ProcessID
+	msg  wire.ClientState
+	fire func() // bound once to run; survives pooling
+}
+
+var csEventPool sync.Pool
+
+func init() {
+	csEventPool.New = func() any {
+		e := new(csEvent)
+		e.fire = e.run
+		return e
+	}
+}
+
+func (e *csEvent) run() {
+	ms, from := e.ms, e.from
+	e.ms, e.from = nil, ""
+	ms.onMessage(from, &e.msg)
+	csEventPool.Put(e)
+}
+
+// onMovieGroupMessage decodes and routes a movie-group multicast. The sync
+// payload aliases the transport receive buffer, so it is decoded (copied,
+// with record strings interned) before the deferral.
 func (s *Server) onMovieGroupMessage(ms *movieState, from gcs.ProcessID, payload []byte) {
-	msg, err := wire.Decode(payload)
+	if len(payload) == 0 || wire.Kind(payload[0]) != wire.KindClientState {
+		return
+	}
+	e := csEventPool.Get().(*csEvent)
+	s.syncMu.Lock()
+	err := wire.DecodeClientStateInto(&e.msg, s.syncIntern, payload)
+	s.syncMu.Unlock()
 	if err != nil {
+		csEventPool.Put(e)
 		return
 	}
-	cs, ok := msg.(*wire.ClientState)
-	if !ok {
-		return
-	}
-	s.later(func() { ms.onMessage(from, cs) })
+	e.ms, e.from = ms, from
+	s.cfg.Clock.AfterFunc(0, e.fire)
 }
 
 // SyncNow forces an immediate state sync for every movie group — used when

@@ -108,6 +108,20 @@ type Config struct {
 	// GCS optionally overrides group-communication timing (Clock and
 	// Endpoint fields are ignored).
 	GCS gcs.Config
+	// StripedEgress coalesces frame pacing: instead of one timer per
+	// session, sessions sharing a movie and a send period attach to one
+	// striped ticker that walks them in attach order, so a server streaming
+	// one title to hundreds of viewers pays one timer event per frame
+	// period instead of hundreds. Admission, thinning, degrade and shaper
+	// decisions are unchanged — they run per session inside the stripe walk.
+	//
+	// Off by default for the same reason as gcs.Config.SharedTimers: a
+	// session's first frame is quantized to its stripe's next tick (at most
+	// one period early versus the dedicated timer), which perturbs recorded
+	// event schedules. Opt in where throughput matters more than replay
+	// compatibility; with a fixed seed striped runs are themselves exactly
+	// reproducible.
+	StripedEgress bool
 	// Obs, when set, receives the server's server.* counters and trace
 	// events, and is forwarded to the embedded GCS process.
 	Obs *obs.Registry
@@ -231,6 +245,12 @@ type Server struct {
 	// always in practice): sessions send shared packet-table slices through
 	// it without any per-frame build or copy.
 	vidPre transport.PreframedSender
+	// vidPreRef and vidResolve are vid's resolved-destination fast path
+	// (non-nil when the underlying network interns addresses, i.e. netsim):
+	// each session resolves its client address once at start and every frame
+	// send afterwards skips the address-string hash.
+	vidPreRef  transport.PreframedRefSender
+	vidResolve transport.RefResolver
 	// atCapacityMsg is the admission-refusal error, formatted once instead
 	// of per refused Open — a refusal storm is exactly when the server is
 	// busiest.
@@ -270,6 +290,19 @@ type Server struct {
 	renewScratch lease.Renew
 	ackScratch   lease.Ack
 	ackBuf       []byte
+
+	// syncIntern dedups the strings decoded from peers' state-sync messages:
+	// the same client IDs and addresses arrive every half second for the
+	// whole session, so only the first sighting of each allocates. Guarded by
+	// syncMu, not mu — decoding happens on the GCS delivery path before the
+	// deferred merge takes mu.
+	syncMu     sync.Mutex
+	syncIntern wire.Intern
+
+	// stripes holds the coalesced pacing tickers of Config.StripedEgress,
+	// one per (movie, send period) with at least one attached session.
+	// Guarded by mu; nil until the first attach.
+	stripes map[stripeKey]*stripe
 }
 
 // classIdx maps a traffic class to its index in per-class arrays.
@@ -323,12 +356,13 @@ func New(cfg Config) (*Server, error) {
 	gcfg.Endpoint = mux.Channel(transport.ChannelGCS)
 	gcfg.Obs = cfg.Obs
 	s := &Server{
-		cfg:      cfg,
-		mux:      mux,
-		proc:     gcs.NewProcess(gcfg),
-		vid:      mux.Channel(transport.ChannelVideo),
-		movies:   make(map[string]*movieState),
-		sessions: make(map[string]*session),
+		cfg:        cfg,
+		mux:        mux,
+		proc:       gcs.NewProcess(gcfg),
+		vid:        mux.Channel(transport.ChannelVideo),
+		movies:     make(map[string]*movieState),
+		sessions:   make(map[string]*session),
+		syncIntern: wire.Intern{},
 		ctr: serverCounters{
 			sessionsOpened: cfg.Obs.Counter("server.sessions_opened"),
 			takeovers:      cfg.Obs.Counter("server.takeovers"),
@@ -356,6 +390,8 @@ func New(cfg Config) (*Server, error) {
 	s.ctr.shedTokens = oreg.Counter("server.shed_tokens")
 	s.ctr.degradedFrames = oreg.Counter("server.degraded_frames")
 	s.vidPre, _ = s.vid.(transport.PreframedSender)
+	s.vidPreRef, _ = s.vid.(transport.PreframedRefSender)
+	s.vidResolve, _ = s.vid.(transport.RefResolver)
 	if cfg.MaxSessions > 0 {
 		s.atCapacityMsg = fmt.Sprintf("server %s at capacity (%d sessions)", cfg.ID, cfg.MaxSessions)
 	}
@@ -541,6 +577,27 @@ func (s *Server) Stop() {
 	}
 	s.sessions = make(map[string]*session)
 	s.classes = [2]int{}
+	// Stripe tickers stop in sorted key order for the same free-list
+	// determinism reason the sessions above stop in client-ID order.
+	if len(s.stripes) > 0 {
+		keys := make([]stripeKey, 0, len(s.stripes))
+		for k := range s.stripes {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].movie != keys[j].movie {
+				return keys[i].movie < keys[j].movie
+			}
+			if keys[i].period != keys[j].period {
+				return keys[i].period < keys[j].period
+			}
+			return keys[i].phase < keys[j].phase
+		})
+		for _, k := range keys {
+			s.stripes[k].task.Stop()
+		}
+		s.stripes = nil
+	}
 	for _, ms := range s.movies {
 		if ms.syncTask != nil {
 			ms.syncTask.Stop()

@@ -37,6 +37,19 @@ type session struct {
 	// build buffers entirely.
 	packets *mpeg.PacketTable
 
+	// dstRef is the client address pre-resolved against the video channel's
+	// network (transport.NoAddrRef when the network has no dense index), so
+	// per-frame sends skip the address-string hash.
+	dstRef transport.AddrRef
+
+	// stripe/stripePos locate this session's slot in a coalesced pacing
+	// ticker when Config.StripedEgress is on (stripe nil otherwise or while
+	// detached); shedSkip makes the next stripe tick skip one beat after a
+	// token shed, reproducing the dedicated timer's 2× retry spacing.
+	stripe    *stripe
+	stripePos int
+	shedSkip  bool
+
 	member *gcs.Member // session-group membership, set once joined
 	ready  bool        // the session view includes the client; streaming may start
 	pacing bool        // a send is scheduled
@@ -109,6 +122,10 @@ func (s *Server) startSessionLocked(rec wire.ClientRecord, movie *mpeg.Movie, ta
 	}
 	if s.vidPre != nil {
 		sess.packets = movie.Packets(s.vidPre.Preframe())
+	}
+	sess.dstRef = transport.NoAddrRef
+	if s.vidResolve != nil {
+		sess.dstRef = s.vidResolve.ResolveAddr(transport.Addr(rec.ClientAddr))
 	}
 	if takeover {
 		// Resuming at a stale offset past the end means the movie ended.
@@ -279,9 +296,17 @@ func (sess *session) armSendLocked(d time.Duration) {
 }
 
 // schedulePacingLocked arms the next frame transmission at the current
-// rate. Caller holds srv.mu.
+// rate: a dedicated pacing timer normally, or an attach to the matching
+// coalesced stripe under Config.StripedEgress. Caller holds srv.mu.
 func (sess *session) schedulePacingLocked() {
-	if sess.closed || !sess.ready || sess.pacing || sess.rec.Paused || sess.atEnd {
+	if sess.closed || !sess.ready || sess.rec.Paused || sess.atEnd {
+		return
+	}
+	if sess.srv.cfg.StripedEgress {
+		sess.srv.attachStripeLocked(sess)
+		return
+	}
+	if sess.pacing {
 		return
 	}
 	sess.armSendLocked(sess.sendPeriodLocked())
@@ -301,15 +326,34 @@ func (sess *session) sendOne() {
 	s := sess.srv
 	s.mu.Lock()
 	sess.pacing = false
-	if sess.closed || sess.rec.Paused {
-		s.mu.Unlock()
-		return
+	if !sess.closed && !sess.rec.Paused {
+		sess.paceTickLocked(false)
 	}
+	s.mu.Unlock()
+}
+
+// txOutcome reports what one pacing tick did with its frame.
+type txOutcome int
+
+const (
+	txSent  txOutcome = iota // transmitted or thinned: position advanced
+	txShed                   // shaper dry: frame held, retry at 2× spacing
+	txEnded                  // ran past the last frame
+)
+
+// paceTickLocked advances the stream by one pacing tick — the shared body of
+// the dedicated-timer path (sendOne) and the striped walker. When striped is
+// false it also arms the follow-up timer exactly where the pre-stripe code
+// did (before the network send), keeping default-config event schedules
+// byte-identical; when striped is true the stripe's own ticker provides the
+// cadence and the caller turns txShed into a skipped beat. Caller holds
+// srv.mu and has already passed the closed/paused guards.
+func (sess *session) paceTickLocked(striped bool) txOutcome {
+	s := sess.srv
 	total := uint32(sess.movie.TotalFrames())
 	if sess.rec.Offset >= total {
 		sess.atEnd = true
-		s.mu.Unlock()
-		return
+		return txEnded
 	}
 
 	idx := int(sess.rec.Offset)
@@ -341,9 +385,10 @@ func (sess *session) sendOne() {
 			s.stats.FramesThinned++
 			s.ctr.framesThinned.Inc()
 		}
-		sess.schedulePacingLocked()
-		s.mu.Unlock()
-		return
+		if !striped {
+			sess.schedulePacingLocked()
+		}
+		return txSent
 	}
 
 	dst := transport.Addr(sess.rec.ClientAddr)
@@ -355,9 +400,10 @@ func (sess *session) sendOne() {
 				if !sh.TakeBestEffort(t.WireSize(idx)) {
 					s.stats.ShedTokens++
 					s.ctr.shedTokens.Inc()
-					sess.armSendLocked(2 * sess.sendPeriodLocked())
-					s.mu.Unlock()
-					return
+					if !striped {
+						sess.armSendLocked(2 * sess.sendPeriodLocked())
+					}
+					return txShed
 				}
 			} else {
 				sh.TakeReserved(t.WireSize(idx))
@@ -379,10 +425,15 @@ func (sess *session) sendOne() {
 		s.stats.VideoBytes += uint64(t.WireSize(idx))
 		s.ctr.framesSent.Inc()
 		s.ctr.videoBytes.Add(uint64(t.WireSize(idx)))
-		sess.schedulePacingLocked()
-		_ = s.vidPre.SendPreframed(dst, pkt)
-		s.mu.Unlock()
-		return
+		if !striped {
+			sess.schedulePacingLocked()
+		}
+		if s.vidPreRef != nil && sess.dstRef != transport.NoAddrRef {
+			_ = s.vidPreRef.SendPreframedRef(sess.dstRef, pkt)
+		} else {
+			_ = s.vidPre.SendPreframed(dst, pkt)
+		}
+		return txSent
 	}
 	// Fallback for a video endpoint without preframed sends: build and
 	// encode the frame per message. Send copies before returning (the
@@ -399,9 +450,10 @@ func (sess *session) sendOne() {
 			if !sh.TakeBestEffort(len(pkt)) {
 				s.stats.ShedTokens++
 				s.ctr.shedTokens.Inc()
-				sess.armSendLocked(2 * sess.sendPeriodLocked())
-				s.mu.Unlock()
-				return
+				if !striped {
+					sess.armSendLocked(2 * sess.sendPeriodLocked())
+				}
+				return txShed
 			}
 		} else {
 			sh.TakeReserved(len(pkt))
@@ -415,9 +467,11 @@ func (sess *session) sendOne() {
 	s.stats.VideoBytes += uint64(len(pkt))
 	s.ctr.framesSent.Inc()
 	s.ctr.videoBytes.Add(uint64(len(pkt)))
-	sess.schedulePacingLocked()
+	if !striped {
+		sess.schedulePacingLocked()
+	}
 	_ = s.vid.Send(dst, pkt)
-	s.mu.Unlock()
+	return txSent
 }
 
 // stopLocked halts the session permanently. Caller holds srv.mu.
@@ -426,6 +480,10 @@ func (sess *session) stopLocked() {
 		return
 	}
 	sess.closed = true
+	if st := sess.stripe; st != nil {
+		st.entries[sess.stripePos].sess = nil
+		sess.stripe = nil
+	}
 	if sess.sendTimer != nil {
 		clock.Release(sess.sendTimer)
 		sess.sendTimer = nil

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Striped egress (Config.StripedEgress): sessions that share a movie and a
+// send period attach to one coalesced ticker — the stripe — instead of each
+// arming a dedicated pacing timer. At the headline two-tier scale a server
+// streams one title to ~200 viewers at one shared rate, so striping turns
+// ~200 timer events per frame period into one event that walks a flat entry
+// slice in attach order. Every per-session decision (thinning, degrade,
+// shaper tokens, end-of-movie) still runs per session inside the walk, via
+// the same paceTickLocked body the dedicated-timer path uses.
+//
+// Determinism: stripes are created, attached to and walked in simulation
+// event order; the only map (Server.stripes) is never iterated outside the
+// sorted shutdown path. A striped run is therefore byte-identical for a
+// fixed seed — it is only versus a non-striped run of the same scenario
+// that per-frame timing shifts (first sends quantize to the stripe's next
+// tick), which is why the feature is opt-in.
+
+// stripeKey identifies a stripe: one movie at one send period and one
+// frame-phase slot. Rate changes (flow control, emergency boost) migrate a
+// session to the stripe matching its new period at the next tick.
+type stripeKey struct {
+	movie  string
+	period time.Duration
+	phase  int32
+}
+
+// stripePhaseSlots divides each send period into phase buckets. Sessions
+// attach to the bucket holding their own pacing phase, so a session's beats
+// land within period/stripePhaseSlots of where its dedicated timer would
+// have fired, and each tick bursts only a bucket's worth of frames into the
+// shared egress queue instead of every viewer of the movie at once — small
+// enough perturbations that the scale table renders identically with
+// striping on and off. One movie at one rate still collapses from one timer
+// per session to at most this many tickers.
+const stripePhaseSlots = 16
+
+// stripeEntry is one attached session. gen guards against pooled session
+// records reincarnating under a stale entry: a mismatch means the record
+// was retired and reused, and the entry is dropped on the next walk.
+type stripeEntry struct {
+	sess *session
+	gen  uint64
+}
+
+type stripe struct {
+	srv     *Server
+	key     stripeKey
+	task    *clock.Periodic
+	entries []stripeEntry
+}
+
+// attachStripeLocked puts sess on the stripe for its movie and current send
+// period, creating the stripe (and its ticker) on first use. Attaching to
+// the stripe the session is already on is a no-op, so the scheduling path
+// may call this on every tick-like event. Caller holds s.mu.
+func (s *Server) attachStripeLocked(sess *session) {
+	period := sess.sendPeriodLocked()
+	// The session's pacing phase is where "now + period" falls within the
+	// period cycle, i.e. now's own phase. A stripe's ticker is created at
+	// the first attach, so its beats carry that member's phase; later
+	// attachers land in the same slot only if their phase is within one
+	// slot width, bounding how far any beat sits from the dedicated-timer
+	// schedule it replaces.
+	phase := int32(s.cfg.Clock.Now().UnixNano() % int64(period) * stripePhaseSlots / int64(period))
+	key := stripeKey{movie: sess.movie.ID(), period: period, phase: phase}
+	if st := sess.stripe; st != nil {
+		if st.key == key {
+			return
+		}
+		st.entries[sess.stripePos].sess = nil
+		sess.stripe = nil
+	}
+	st := s.stripes[key]
+	if st == nil {
+		st = &stripe{srv: s, key: key}
+		if s.stripes == nil {
+			s.stripes = make(map[stripeKey]*stripe)
+		}
+		s.stripes[key] = st
+		st.task = clock.Every(s.cfg.Clock, key.period, st.tick)
+	}
+	st.entries = append(st.entries, stripeEntry{sess: sess, gen: sess.gen})
+	sess.stripePos = len(st.entries) - 1
+	sess.stripe = st
+}
+
+// tick is one stripe beat: walk the attached sessions in attach order,
+// advance each by one frame, and compact detached entries in place. A
+// session whose shaper draw failed last beat skips this one (shedSkip),
+// reproducing the dedicated timer's 2×-period retry; one that finished its
+// movie or changed rate leaves the stripe. The last leaver retires the
+// stripe and its ticker.
+func (st *stripe) tick() {
+	s := st.srv
+	s.mu.Lock()
+	entries := st.entries
+	k := 0
+	for i := range entries {
+		e := entries[i]
+		sess := e.sess
+		if sess == nil || sess.stripe != st || sess.gen != e.gen || sess.closed {
+			continue
+		}
+		if !sess.rec.Paused {
+			if sess.shedSkip {
+				sess.shedSkip = false
+			} else if sess.paceTickLocked(true) == txShed {
+				sess.shedSkip = true
+			}
+		}
+		if sess.atEnd {
+			sess.stripe = nil
+			continue
+		}
+		if sess.sendPeriodLocked() != st.key.period {
+			sess.stripe = nil
+			s.attachStripeLocked(sess)
+			continue
+		}
+		sess.stripePos = k
+		entries[k] = e
+		k++
+	}
+	for i := k; i < len(entries); i++ {
+		entries[i] = stripeEntry{}
+	}
+	st.entries = entries[:k]
+	if k == 0 && !s.closed {
+		st.task.Stop()
+		delete(s.stripes, st.key)
+	}
+	s.mu.Unlock()
+}

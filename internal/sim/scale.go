@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/client"
@@ -27,12 +28,17 @@ import (
 //
 // The table is reachable via -table scale but deliberately absent from
 // TableIDs: -table all and -list keep their exact pre-§12 output.
+//
+// The production table runs with striped egress on: the aggregate row
+// metrics are identical either way (TestTableScaleStripedEquivalent pins
+// that), and coalesced pacing is most of what makes the 10k-viewer row
+// cheap enough to regenerate casually.
 func TableScale(seed int64) Table {
 	return tableScale(seed, []scalePoint{
 		{servers: 10, viewers: 1_000},
 		{servers: 25, viewers: 4_000},
 		{servers: 50, viewers: 10_000},
-	})
+	}, true)
 }
 
 type scalePoint struct {
@@ -41,7 +47,7 @@ type scalePoint struct {
 }
 
 // tableScale is the parameterized core, shared with the reduced-size tests.
-func tableScale(seed int64, points []scalePoint) Table {
+func tableScale(seed int64, points []scalePoint, striped bool) Table {
 	t := Table{
 		ID:    "Tbl 2T",
 		Title: "two-tier capacity: sharded movie groups + leased viewers (§12)",
@@ -51,7 +57,7 @@ func tableScale(seed int64, points []scalePoint) Table {
 		},
 	}
 	trials := fanOut(len(points), func(i int) scaleResult {
-		return scaleTrial(seed, points[i].servers, points[i].viewers)
+		return scaleTrial(seed, points[i].servers, points[i].viewers, striped)
 	})
 	for i, p := range points {
 		res := trials[i]
@@ -79,13 +85,44 @@ type scaleResult struct {
 // capacity table uses. Health classification scales with it.
 const scaleMovieLen = 10 * time.Second
 
+// scaleMovies caches generated titles across load points and workers. A
+// movie's content is a pure function of (id, seed, length), and Movie is
+// immutable and safe for concurrent use, so the 50-title headline set — and
+// the preframed packet tables lazily built on each movie — is generated once
+// per process instead of once per trial. Only a handful of seeds ever run in
+// one process, so the cache is unbounded.
+var scaleMovies struct {
+	sync.Mutex
+	m map[string]*mpeg.Movie
+}
+
+// scaleMovie returns the cached movie for (title, seed) at scaleMovieLen,
+// generating it on first use.
+func scaleMovie(title string, seed int64) *mpeg.Movie {
+	key := title + "|" + strconv.FormatInt(seed, 10)
+	scaleMovies.Lock()
+	defer scaleMovies.Unlock()
+	if m, ok := scaleMovies.m[key]; ok {
+		return m
+	}
+	m := mpeg.Generate(title, mpeg.StreamConfig{
+		Duration: scaleMovieLen,
+		Seed:     seed,
+	})
+	if scaleMovies.m == nil {
+		scaleMovies.m = make(map[string]*mpeg.Movie)
+	}
+	scaleMovies.m[key] = m
+	return m
+}
+
 // scaleTrial runs nViewers leased viewers against nServers servers sharing
 // one consistent-hash ring. One title per server, stocked only on its arc's
 // Replicas owners; each server joins movie groups solely for the titles it
 // holds, so group size stays at Replicas while the cluster grows. Viewers
 // attach by lease (no session groups at all) with the ring ordering their
 // anycast, arrivals spread over the first two seconds.
-func scaleTrial(seed int64, nServers, nViewers int) scaleResult {
+func scaleTrial(seed int64, nServers, nViewers int, striped bool) scaleResult {
 	const replicas = 2
 	clk := clock.NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
 	net := netsim.New(clk, seed, netsim.LAN())
@@ -109,10 +146,7 @@ func scaleTrial(seed int64, nServers, nViewers int) scaleResult {
 	}
 	for i := range titles {
 		titles[i] = fmt.Sprintf("title-%02d", i)
-		movie := mpeg.Generate(titles[i], mpeg.StreamConfig{
-			Duration: scaleMovieLen,
-			Seed:     seed + int64(i),
-		})
+		movie := scaleMovie(titles[i], seed+int64(i))
 		for _, owner := range ring.LookupN(titles[i], replicas) {
 			catalogs[owner].Add(movie)
 		}
@@ -137,6 +171,9 @@ func scaleTrial(seed int64, nServers, nViewers int) scaleResult {
 			// membership — at 50 servers the difference is the simulation
 			// budget.
 			GCS: gcs.Config{SharedTimers: true},
+			// Likewise one coalesced pacing tick per (movie, rate) instead
+			// of one timer per viewer session.
+			StripedEgress: striped,
 		})
 		if err != nil {
 			panic(err)

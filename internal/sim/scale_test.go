@@ -10,7 +10,7 @@ import (
 // servers / 1,000 leased viewers): every viewer must stream healthily, and
 // the ring-ordered anycast must land each Open on its owner first try.
 func TestTableScaleReduced(t *testing.T) {
-	res := scaleTrial(1, 10, 1000)
+	res := scaleTrial(1, 10, 1000, true)
 	if res.healthy < 990 {
 		t.Fatalf("healthy = %d of 1000, want ≥ 990 (starved %d, worst freeze %d)",
 			res.healthy, res.starved, res.worstFreeze)
@@ -25,15 +25,16 @@ func TestTableScaleReduced(t *testing.T) {
 }
 
 // TestTableScaleWorkersEquivalent pins the sweep determinism contract for
-// the new table: the rendered bytes are identical whether its load points
-// run on one worker or eight.
+// the new table in its production configuration (striped egress on, dense
+// netsim indexing always on): the rendered bytes are identical whether its
+// load points run on one worker or eight.
 func TestTableScaleWorkersEquivalent(t *testing.T) {
 	points := []scalePoint{{servers: 4, viewers: 120}, {servers: 6, viewers: 180}}
 	render := func(workers int) []byte {
 		SetParallelism(workers)
 		defer SetParallelism(0)
 		var buf bytes.Buffer
-		if err := tableScale(7, points).Write(&buf); err != nil {
+		if err := tableScale(7, points, true).Write(&buf); err != nil {
 			t.Fatal(err)
 		}
 		return buf.Bytes()
@@ -47,5 +48,25 @@ func TestTableScaleWorkersEquivalent(t *testing.T) {
 	}
 	if !bytes.Contains(one, []byte(strconv.Itoa(points[0].viewers))) {
 		t.Fatalf("table missing viewer column: %s", one)
+	}
+}
+
+// TestTableScaleStripedEquivalent pins what licenses turning striped egress
+// on for the production table: per-frame timing quantizes differently, but
+// the aggregate health metrics the table reports — healthy, starved, stalls,
+// worst freeze, opens — render byte-identically with the feature on and off
+// at the CI load point.
+func TestTableScaleStripedEquivalent(t *testing.T) {
+	points := []scalePoint{{servers: 10, viewers: 1_000}}
+	render := func(striped bool) []byte {
+		var buf bytes.Buffer
+		if err := tableScale(1, points, striped).Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	off, on := render(false), render(true)
+	if !bytes.Equal(off, on) {
+		t.Fatalf("scale table differs with striped egress:\noff:\n%s\non:\n%s", off, on)
 	}
 }

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ChannelID tags each datagram with the logical plane it belongs to.
@@ -32,7 +33,16 @@ type Mux struct {
 
 	mu       sync.RWMutex
 	channels map[ChannelID]*muxChannel
+
+	// chans mirrors the low channel IDs (every ID the VoD planes use) in a
+	// flat array of atomic pointers: dispatch runs once per delivered
+	// datagram — millions of times in a scale run — and an indexed atomic
+	// load replaces the map hash plus reader-lock round trip.
+	chans [muxDenseChans]atomic.Pointer[muxChannel]
 }
+
+// muxDenseChans bounds the dense dispatch array; all defined ChannelIDs fit.
+const muxDenseChans = 8
 
 // NewMux wraps ep. The mux takes over ep's handler; callers must not call
 // ep.SetHandler afterwards.
@@ -53,7 +63,15 @@ func (m *Mux) Channel(id ChannelID) Endpoint {
 	ch, ok := m.channels[id]
 	if !ok {
 		ch = &muxChannel{mux: m, id: id}
+		// The underlying endpoint's optional fast paths are resolved once
+		// here instead of being type-asserted on every send.
+		ch.stable, _ = m.ep.(StableSender)
+		ch.refs, _ = m.ep.(RefSender)
+		ch.resolver, _ = m.ep.(RefResolver)
 		m.channels[id] = ch
+		if int(id) < muxDenseChans {
+			m.chans[id].Store(ch)
+		}
 	}
 	return ch
 }
@@ -68,17 +86,19 @@ func (m *Mux) dispatch(from Addr, payload []byte) {
 		return
 	}
 	id := ChannelID(payload[0])
-	m.mu.RLock()
-	ch := m.channels[id]
-	m.mu.RUnlock()
+	var ch *muxChannel
+	if int(id) < muxDenseChans {
+		ch = m.chans[id].Load()
+	} else {
+		m.mu.RLock()
+		ch = m.channels[id]
+		m.mu.RUnlock()
+	}
 	if ch == nil {
 		return // no listener on this plane; drop like UDP would
 	}
-	ch.mu.RLock()
-	h := ch.handler
-	ch.mu.RUnlock()
-	if h != nil {
-		h(from, payload[1:])
+	if h := ch.handler.Load(); h != nil {
+		(*h)(from, payload[1:])
 	}
 }
 
@@ -86,8 +106,15 @@ type muxChannel struct {
 	mux *Mux
 	id  ChannelID
 
-	mu      sync.RWMutex
-	handler Handler
+	// The underlying endpoint's optional send interfaces, asserted once at
+	// channel creation (nil when unimplemented).
+	stable   StableSender
+	refs     RefSender
+	resolver RefResolver
+
+	// handler is an atomic pointer rather than a mutex-guarded field:
+	// dispatch reads it per delivered datagram, installs are rare.
+	handler atomic.Pointer[Handler]
 
 	sendMu  sync.Mutex
 	scratch []byte // reusable framing buffer, guarded by sendMu
@@ -127,16 +154,44 @@ func (c *muxChannel) SendPreframed(to Addr, payload []byte) error {
 	if len(payload) > MaxDatagram {
 		return fmt.Errorf("channel %d to %s: %w", c.id, to, ErrTooLarge)
 	}
-	if s, ok := c.mux.ep.(StableSender); ok {
-		return s.SendStable(to, payload)
+	if c.stable != nil {
+		return c.stable.SendStable(to, payload)
 	}
 	return c.mux.ep.Send(to, payload)
 }
 
+// ResolveAddr implements RefResolver by delegating to the underlying
+// endpoint. Channels over an endpoint without a dense index return NoAddrRef;
+// callers then stay on the address-keyed send path.
+func (c *muxChannel) ResolveAddr(to Addr) AddrRef {
+	if c.resolver != nil {
+		return c.resolver.ResolveAddr(to)
+	}
+	return NoAddrRef
+}
+
+// SendPreframedRef implements PreframedRefSender: SendPreframed with the
+// destination already resolved. The payload carries the same immutability
+// and prefix obligations; to must come from this channel's ResolveAddr.
+func (c *muxChannel) SendPreframedRef(to AddrRef, payload []byte) error {
+	if len(payload) == 0 || payload[0] != byte(c.id) {
+		return fmt.Errorf("channel %d to ref#%d: preframed payload does not carry this channel's prefix", c.id, to)
+	}
+	if len(payload) > MaxDatagram {
+		return fmt.Errorf("channel %d to ref#%d: %w", c.id, to, ErrTooLarge)
+	}
+	if c.refs == nil || to == NoAddrRef {
+		return fmt.Errorf("channel %d to ref#%d: no reference send path", c.id, to)
+	}
+	return c.refs.SendStableRef(to, payload)
+}
+
 func (c *muxChannel) SetHandler(h Handler) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.handler = h
+	if h == nil {
+		c.handler.Store(nil)
+		return
+	}
+	c.handler.Store(&h)
 }
 
 // Close detaches this channel's handler; the shared endpoint stays open for

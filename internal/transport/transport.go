@@ -71,6 +71,44 @@ type PreframedSender interface {
 	SendPreframed(to Addr, payload []byte) error
 }
 
+// AddrRef is a pre-resolved destination handle: a dense integer a network
+// hands out for an Addr so per-packet sends need not re-hash the address
+// string. Refs are only meaningful to the network that issued them.
+type AddrRef int32
+
+// NoAddrRef is the sentinel for "no reference available"; senders holding it
+// must fall back to the address-keyed Send path.
+const NoAddrRef AddrRef = -1
+
+// RefResolver is an optional Endpoint extension implemented by networks with
+// dense internal routing. ResolveAddr interns to and returns a stable
+// reference that stays valid for the lifetime of the network — across
+// crashes and rebinds of the referenced address — and is accepted by any
+// RefSender endpoint of the same network. Endpoints without a dense index
+// simply don't implement the interface.
+type RefResolver interface {
+	ResolveAddr(to Addr) AddrRef
+}
+
+// RefSender is an optional Endpoint extension accepting pre-resolved
+// destination references. SendRef and SendStableRef behave exactly like Send
+// and SendStable with the referenced address: same drop, duplication and
+// timing behavior, so a run sending by reference replays byte-for-byte like
+// one sending by address.
+type RefSender interface {
+	SendRef(to AddrRef, payload []byte) error
+	SendStableRef(to AddrRef, payload []byte) error
+}
+
+// PreframedRefSender extends PreframedSender with a resolved-destination
+// variant: the payload must already begin with the channel's Preframe byte
+// and be immutable for the process lifetime, and to must come from this
+// channel's ResolveAddr. The per-frame delivery path of a scale run goes
+// through here — no string is hashed between the session and the wire.
+type PreframedRefSender interface {
+	SendPreframedRef(to AddrRef, payload []byte) error
+}
+
 // Network creates endpoints. The simulated implementation wires them to a
 // shared topology; tests use it to build whole clusters in-process.
 type Network interface {

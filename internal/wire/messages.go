@@ -37,9 +37,21 @@ type Message interface {
 	appendBody(b []byte) []byte
 }
 
+// sizedMessage is implemented by messages that can compute their encoded
+// body length up front, letting Encode allocate exactly once. State-sync
+// messages carry hundreds of client records; without the hint the append
+// loop reallocates the buffer several times per sync.
+type sizedMessage interface {
+	encodedSize() int
+}
+
 // Encode frames m as a kind byte followed by its body.
 func Encode(m Message) []byte {
-	b := make([]byte, 0, 64)
+	capacity := 64
+	if sm, ok := m.(sizedMessage); ok {
+		capacity = 1 + sm.encodedSize()
+	}
+	b := make([]byte, 0, capacity)
 	b = AppendU8(b, uint8(m.Kind()))
 	return m.appendBody(b)
 }
@@ -521,6 +533,24 @@ func (m *ClientState) appendBody(b []byte) []byte {
 		}
 	}
 	return b
+}
+
+// encodedSize implements sizedMessage: the exact body length appendBody
+// will produce, so Encode sizes the packet buffer in one allocation.
+func (m *ClientState) encodedSize() int {
+	n := 2 + len(m.Server) + 8 + 1 + 2
+	classed := false
+	for i := range m.Clients {
+		c := &m.Clients[i]
+		n += minClientRecordBytes + len(c.ClientID) + len(c.ClientAddr)
+		if c.Class != ClassReserved || c.Leased {
+			classed = true
+		}
+	}
+	if classed {
+		n += len(m.Clients)
+	}
+	return n
 }
 
 // minClientRecordBytes is the smallest possible encoded ClientRecord: two
