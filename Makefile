@@ -14,8 +14,11 @@ race:        ## race detector over the whole module
 bench:       ## one benchmark per paper figure/table + micro benches
 	go test -bench=. -benchmem ./...
 
-bench-json:  ## hot-path + sweep benchmarks, recorded for regression comparison
-	go test -run='^$$' -bench='^Benchmark(Sim|Fig|Table|Ablation)' -benchmem -json . > BENCH_hotpath.json
+bench-json:  ## hot-path + sweep benchmarks, appended for regression comparison
+	@go test -run='^$$' -bench='^Benchmark(Sim|Fig|Table|Ablation)' -benchmem -json . > BENCH_json.tmp || { cat BENCH_json.tmp; rm -f BENCH_json.tmp; exit 1; }
+	@cat BENCH_json.tmp >> BENCH_hotpath.json
+	@rm -f BENCH_json.tmp
+	@echo "bench-json: appended to BENCH_hotpath.json"
 	go test -run='^$$' -bench=SweepSpeedup -benchtime=2x -benchmem -json . > BENCH_sweep.json
 
 bench-smoke: ## one cheap iteration of the throughput benchmark (CI)
@@ -33,11 +36,7 @@ bench-capacity: ## capacity-scale benchmark; fails if B/op exceeds the checked-i
 bench-scale: ## two-tier 50-server/10k-viewer capacity row, recorded into BENCH_hotpath.json
 	@go test -run='^$$' -bench='^BenchmarkTableScale$$' -benchtime=1x -benchmem -json . > BENCH_scale.tmp || { cat BENCH_scale.tmp; rm -f BENCH_scale.tmp; exit 1; }
 	@grep -h '"Output"' BENCH_scale.tmp | grep -o 'Benchmark[^"\\]*' | head -2 || true
-	@if [ -f BENCH_hotpath.json ]; then \
-		grep -v 'BenchmarkTableScale' BENCH_hotpath.json > BENCH_hotpath.json.new || true; \
-		cat BENCH_scale.tmp >> BENCH_hotpath.json.new; \
-		mv BENCH_hotpath.json.new BENCH_hotpath.json; \
-	else mv BENCH_scale.tmp BENCH_hotpath.json; fi
+	@cat BENCH_scale.tmp >> BENCH_hotpath.json
 	@rm -f BENCH_scale.tmp
 	@echo "bench-scale: recorded into BENCH_hotpath.json"
 

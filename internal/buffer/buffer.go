@@ -123,8 +123,16 @@ func New(cfg Config) *Pipeline {
 	// The software buffer is bounded by its capacity, so one allocation
 	// serves the pipeline's lifetime; consumption shifts in place rather
 	// than re-slicing, which would walk the slice off its backing array
-	// and force a fresh allocation on almost every insert.
-	return &Pipeline{cfg: cfg, sw: make([]FrameMeta, 0, cfg.SoftwareCapacity+1)}
+	// and force a fresh allocation on almost every insert. The decoder
+	// buffer is byte-bounded, but its working set is the same order as
+	// the software buffer (≈1.2 s of stream each at the paper defaults),
+	// so seed it at the same capacity and skip the append-doubling churn;
+	// it still grows if small frames pack past the estimate.
+	return &Pipeline{
+		cfg: cfg,
+		sw:  make([]FrameMeta, 0, cfg.SoftwareCapacity+1),
+		hw:  make([]FrameMeta, 0, cfg.SoftwareCapacity+1),
+	}
 }
 
 // InsertResult reports what happened to an arriving frame.

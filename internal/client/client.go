@@ -65,7 +65,9 @@ type Config struct {
 	Network transport.Network
 	// Servers is the bootstrap list of VoD server addresses. The client
 	// anycasts its Open to them in turn until one responds. May be empty
-	// when Directory is set.
+	// when Directory is set. The client retains the slice read-only, so
+	// one list can back any number of clients; callers must not mutate it
+	// after New.
 	Servers []string
 	// Directory, when set, is a CONGRESS directory address: at Watch time
 	// the client resolves the server-group name there instead of (or in
@@ -215,7 +217,10 @@ type Client struct {
 
 	// Open-retry backoff and starvation-recovery state. rng supplies the
 	// retry jitter, seeded from the client ID so virtual-clock runs are
-	// deterministic while distinct clients desynchronize.
+	// deterministic while distinct clients desynchronize. It is created
+	// lazily at the first draw (rngLocked): a healthy viewer never retries,
+	// and the generator's ~5 KB state times ten thousand viewers was a
+	// measurable slice of the scale table's footprint.
 	rng         *rand.Rand
 	openAttempt int  // timer-driven retries since the last reply
 	refusals    int  // consecutive refused Opens in this open cycle
@@ -322,8 +327,7 @@ func New(cfg Config) (*Client, error) {
 		proc:    gcs.NewProcess(gcfg),
 		vid:     mux.Channel(transport.ChannelVideo),
 		state:   StateIdle,
-		servers: append([]string(nil), cfg.Servers...),
-		rng:     rand.New(rand.NewSource(seedFrom(cfg.ID))),
+		servers: cfg.Servers,
 		ctr: clientCounters{
 			opensSent:   cfg.Obs.Counter("client.opens_sent"),
 			openRetries: cfg.Obs.Counter("client.open_retries"),
@@ -464,7 +468,7 @@ func (c *Client) applyResolved(addrs []transport.Addr) {
 		return
 	}
 	if len(c.cfg.Servers) > 0 {
-		c.servers = append([]string(nil), c.cfg.Servers...)
+		c.servers = c.cfg.Servers
 		c.mu.Unlock()
 		c.sendOpen()
 		return
@@ -485,9 +489,17 @@ func (c *Client) orderServersLocked() {
 	if ring == nil || ring.Len() == 0 {
 		return
 	}
-	ordered := ring.AppendOrder(nil, c.movie, ring.Len())
+	// Order returns a cached slice shared by every client of the movie;
+	// c.servers is only ever read or reassigned whole, so aliasing it is
+	// safe — but it must be copied before appending off-ring bootstraps.
+	ordered := ring.Order(c.movie)
+	shared := true
 	for _, s := range c.cfg.Servers {
 		if !containsString(ordered, s) {
+			if shared {
+				ordered = append(make([]string, 0, len(ordered)+len(c.cfg.Servers)), ordered...)
+				shared = false
+			}
 			ordered = append(ordered, s)
 		}
 	}
@@ -507,6 +519,16 @@ func containsString(xs []string, x string) bool {
 // SessionGroupName returns the session group for a client ID. It mirrors
 // server.SessionGroup without importing the server package.
 func SessionGroupName(clientID string) string { return "vod.session." + clientID }
+
+// rngLocked returns the client's jitter RNG, creating it on first use. The
+// seed is a pure function of the client ID, so lazy creation draws the
+// exact sequence the eager generator drew. Caller holds c.mu.
+func (c *Client) rngLocked() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(seedFrom(c.cfg.ID)))
+	}
+	return c.rng
+}
 
 // seedFrom derives a deterministic RNG seed from an identity string.
 func seedFrom(s string) int64 {
@@ -535,7 +557,7 @@ func (c *Client) openDelayLocked() time.Duration {
 		d = c.cfg.OpenBackoffCap
 	}
 	if c.openAttempt > 0 {
-		d += time.Duration(c.rng.Int63n(int64(d)/4 + 1))
+		d += time.Duration(c.rngLocked().Int63n(int64(d)/4 + 1))
 	}
 	return d
 }
@@ -558,7 +580,7 @@ func (c *Client) refusalDelayLocked(hintMs uint32) time.Duration {
 		d = hint
 	}
 	if c.refusals > 0 || hintMs != 0 {
-		d += time.Duration(c.rng.Int63n(int64(d)/4 + 1))
+		d += time.Duration(c.rngLocked().Int63n(int64(d)/4 + 1))
 	}
 	return d
 }

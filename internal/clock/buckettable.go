@@ -1,0 +1,109 @@
+package clock
+
+// bucketTable maps deadline nanos to their pending bucket. It replaces a
+// map[int64]*bucket on the clock's hottest path: every arm probes it, every
+// fresh instant inserts, and every drained instant deletes — at simulation
+// scale that is millions of runtime map calls whose hashing and bucket-group
+// scans dominate armLocked. A flat linear-probe table with fibonacci hashing
+// does the same job in a few loads per call.
+//
+// Occupancy is marked by vals[i] != nil (keys alone can't mark emptiness:
+// any int64, including 0, is a legal deadline). Deletion backward-shifts the
+// probe run instead of leaving tombstones, so probe lengths stay short no
+// matter how many instants come and go. The zero value is ready to use.
+type bucketTable struct {
+	keys []int64
+	vals []*bucket
+	mask uint64
+	n    int
+}
+
+// hashNanos spreads structured deadlines (mostly multiples of a few pacing
+// periods) across the table. Fibonacci multiplicative hashing is enough: the
+// high bits of k*phi are well mixed even for arithmetic-progression keys.
+func (t *bucketTable) hashNanos(k int64) uint64 {
+	return (uint64(k) * 0x9e3779b97f4a7c15) >> 32 & t.mask
+}
+
+func (t *bucketTable) get(k int64) *bucket {
+	if t.n == 0 {
+		return nil
+	}
+	for i := t.hashNanos(k); ; i = (i + 1) & t.mask {
+		if t.vals[i] == nil {
+			return nil
+		}
+		if t.keys[i] == k {
+			return t.vals[i]
+		}
+	}
+}
+
+// put inserts k, which must not already be present.
+func (t *bucketTable) put(k int64, b *bucket) {
+	// Grow at 5/8 load: linear probing stays O(1) well past that, but the
+	// headroom keeps worst-case runs short during fan-in bursts.
+	if t.vals == nil || t.n >= len(t.vals)*5/8 {
+		t.grow()
+	}
+	i := t.hashNanos(k)
+	for t.vals[i] != nil {
+		i = (i + 1) & t.mask
+	}
+	t.keys[i] = k
+	t.vals[i] = b
+	t.n++
+}
+
+// del removes k if present, backward-shifting the rest of its probe run so
+// lookups never need tombstones.
+func (t *bucketTable) del(k int64) {
+	if t.n == 0 {
+		return
+	}
+	i := t.hashNanos(k)
+	for {
+		if t.vals[i] == nil {
+			return
+		}
+		if t.keys[i] == k {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	// Standard linear-probe deletion: walk the run after i, moving back any
+	// entry whose home slot means it could have probed into i's position.
+	j := i
+	for {
+		j = (j + 1) & t.mask
+		if t.vals[j] == nil {
+			break
+		}
+		home := t.hashNanos(t.keys[j])
+		// Entry at j may fill slot i iff i lies within [home, j] cyclically.
+		if (j-home)&t.mask >= (j-i)&t.mask {
+			t.keys[i] = t.keys[j]
+			t.vals[i] = t.vals[j]
+			i = j
+		}
+	}
+	t.vals[i] = nil
+	t.n--
+}
+
+func (t *bucketTable) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	size := 64
+	if len(oldVals) > 0 {
+		size = len(oldVals) * 2
+	}
+	t.keys = make([]int64, size)
+	t.vals = make([]*bucket, size)
+	t.mask = uint64(size - 1)
+	t.n = 0
+	for i, b := range oldVals {
+		if b != nil {
+			t.put(oldKeys[i], b)
+		}
+	}
+}

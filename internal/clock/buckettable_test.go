@@ -1,0 +1,67 @@
+package clock
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBucketTableAgainstMap drives the open-addressing table with a random
+// interleave of inserts and deletes and checks every lookup against a plain
+// map — including after heavy churn, which exercises the backward-shift
+// deletion that keeps probe runs tombstone-free.
+func TestBucketTableAgainstMap(t *testing.T) {
+	var bt bucketTable
+	ref := make(map[int64]*bucket)
+	rng := rand.New(rand.NewSource(42))
+	live := make([]int64, 0, 1024)
+
+	for step := 0; step < 200_000; step++ {
+		if len(live) == 0 || rng.Intn(3) != 0 {
+			// Structured keys like real deadlines: multiples of a few
+			// periods, plus occasional jittered odd values.
+			k := int64(rng.Intn(5_000)) * 33_366_600
+			if rng.Intn(10) == 0 {
+				k += int64(rng.Intn(1_000_000))
+			}
+			if _, ok := ref[k]; ok {
+				continue
+			}
+			b := &bucket{nanos: k}
+			bt.put(k, b)
+			ref[k] = b
+			live = append(live, k)
+		} else {
+			i := rng.Intn(len(live))
+			k := live[i]
+			bt.del(k)
+			delete(ref, k)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if step%1_000 == 0 {
+			for k, want := range ref {
+				if got := bt.get(k); got != want {
+					t.Fatalf("step %d: get(%d) = %p, want %p", step, k, got, want)
+				}
+			}
+			if bt.get(-1) != nil {
+				t.Fatalf("step %d: ghost entry for absent key", step)
+			}
+		}
+	}
+	if bt.n != len(ref) {
+		t.Fatalf("size drift: table %d, map %d", bt.n, len(ref))
+	}
+	for k, want := range ref {
+		if got := bt.get(k); got != want {
+			t.Fatalf("final: get(%d) = %p, want %p", k, got, want)
+		}
+	}
+	// Deleting everything must leave a fully reusable table.
+	for _, k := range live {
+		bt.del(k)
+	}
+	if bt.n != 0 {
+		t.Fatalf("n = %d after deleting all keys", bt.n)
+	}
+}

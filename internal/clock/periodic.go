@@ -2,6 +2,7 @@ package clock
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -9,15 +10,25 @@ import (
 // building block for heartbeats, state-sync broadcasts and frame pacing.
 // Unlike time.Ticker it is implemented with AfterFunc re-arming, so it works
 // identically on Real and Virtual clocks.
+//
+// The tick fast path takes no Periodic lock: period and stopped are
+// atomics, and timer is only ever written under mu (at creation, on the
+// re-issue slow path, never by Stop), so the in-place rearm can read it
+// bare. Stop cancels the pending timer instead of recycling its record —
+// recycling would let an unrelated caller reincarnate the record while a
+// straggling tick still holds the handle, and rearm would then hijack the
+// new owner's event. A cancelled record is never reissued, so the worst a
+// straggler can do is observe stateStopped and bail.
 type Periodic struct {
-	mu      sync.Mutex
 	c       Clock
 	v       *Virtual // non-nil when c is a Virtual: enables the rearm fast path
-	period  time.Duration
+	period  atomic.Int64
 	fn      func()
 	tickFn  func() // p.tick, bound once: a method value allocates per use
-	timer   Timer
-	stopped bool
+	stopped atomic.Bool
+
+	mu    sync.Mutex // guards timer re-issue on the slow path
+	timer Timer
 }
 
 // Every schedules fn to run every period on c, starting one period from
@@ -27,7 +38,8 @@ func Every(c Clock, period time.Duration, fn func()) *Periodic {
 	if period <= 0 {
 		panic("clock: Every requires a positive period")
 	}
-	p := &Periodic{c: c, period: period, fn: fn}
+	p := &Periodic{c: c, fn: fn}
+	p.period.Store(int64(period))
 	p.v, _ = c.(*Virtual)
 	p.tickFn = p.tick
 	p.mu.Lock()
@@ -37,18 +49,22 @@ func Every(c Clock, period time.Duration, fn func()) *Periodic {
 }
 
 func (p *Periodic) tick() {
-	p.mu.Lock()
-	if p.stopped {
-		p.mu.Unlock()
+	if p.stopped.Load() {
 		return
 	}
+	period := time.Duration(p.period.Load())
 	// The pending timer just fired; re-arm it so a long-lived heartbeat
 	// reuses one event record forever. On a Virtual clock the record is
 	// re-armed in place under one queue lock; elsewhere it is recycled and
 	// re-issued, which is the same lifecycle in two steps.
-	if p.v == nil || !p.v.rearm(p.timer, p.period) {
+	if p.v != nil && p.v.rearm(p.timer, period) {
+		p.fn()
+		return
+	}
+	p.mu.Lock()
+	if !p.stopped.Load() {
 		Release(p.timer)
-		p.timer = p.c.AfterFunc(p.period, p.tickFn)
+		p.timer = p.c.AfterFunc(period, p.tickFn)
 	}
 	p.mu.Unlock()
 	p.fn()
@@ -60,28 +76,26 @@ func (p *Periodic) SetPeriod(d time.Duration) {
 	if d <= 0 {
 		panic("clock: SetPeriod requires a positive period")
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.period = d
+	p.period.Store(int64(d))
 }
 
-// Stop cancels the task: the pending timer is released and no further tick
+// Stop cancels the task: the pending timer is stopped and no further tick
 // is ever dispatched. A tick whose timer has already fired may still be
-// between re-arming and invoking fn when Stop is called — tick drops the
-// mutex before calling fn so that fn may itself call Stop (display loops
-// stop their own task from inside the tick) — so on any clock at most one
+// between re-arming and invoking fn when Stop is called — tick never holds
+// a lock across fn so that fn may itself call Stop (display loops stop
+// their own task from inside the tick) — so on any clock at most one
 // invocation of fn can still complete after Stop returns. Callers needing a
 // hard cut must make fn check its own stop condition, as every fn in this
 // repository does by re-checking state under its subsystem lock.
 func (p *Periodic) Stop() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.stopped {
+	if p.stopped.Swap(true) {
 		return
 	}
-	p.stopped = true
+	p.mu.Lock()
 	if p.timer != nil {
-		Release(p.timer)
-		p.timer = nil
+		// Cancel but keep the handle: the lock-free fast path may still
+		// read p.timer, so the field is never cleared once set.
+		p.timer.Stop()
 	}
+	p.mu.Unlock()
 }

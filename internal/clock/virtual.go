@@ -2,6 +2,7 @@ package clock
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,8 +33,16 @@ type Virtual struct {
 	now      time.Time
 	nowNanos int64 // now.UnixNano(), cached: bucket keys are integer nanos
 
-	buckets map[int64]*bucket // pending buckets by deadline nanos
-	bq      []bqEntry         // min-heap on deadline nanos (keys are unique)
+	// nowAtomic mirrors nowNanos so Now — the single hottest read in a
+	// simulation — needs no lock: callers reconstruct the time.Time from
+	// the base instant, which is exact integer arithmetic and therefore
+	// equal to the locked chain of Adds it replaces.
+	nowAtomic atomic.Int64
+	base      time.Time
+	baseNanos int64
+
+	buckets bucketTable // pending buckets by deadline nanos
+	bq      []bqEntry   // min-heap on deadline nanos (keys are unique)
 
 	// Recycled bucket records, segregated by backing so a record whose evs
 	// slice grew past the inline array is preferentially reissued to the
@@ -74,18 +83,21 @@ const bucketSlabSize = 64
 
 // NewVirtual returns a Virtual clock whose current time is start.
 func NewVirtual(start time.Time) *Virtual {
-	return &Virtual{
-		now:      start,
-		nowNanos: start.UnixNano(),
-		buckets:  make(map[int64]*bucket),
+	c := &Virtual{
+		now:       start,
+		nowNanos:  start.UnixNano(),
+		base:      start,
+		baseNanos: start.UnixNano(),
 	}
+	c.nowAtomic.Store(c.nowNanos)
+	return c
 }
 
-// Now implements Clock.
+// Now implements Clock. It is lock-free: the instant is reconstructed from
+// the clock's base time, which yields a value identical to the internally
+// tracked c.now (both are exact integer arithmetic from the same start).
 func (c *Virtual) Now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return c.base.Add(time.Duration(c.nowAtomic.Load() - c.baseNanos))
 }
 
 // bucket holds every pending event for one deadline instant. Entries before
@@ -144,13 +156,13 @@ func (c *Virtual) armLocked(ev *event, d time.Duration) {
 	c.seq++
 
 	nanos := c.nowNanos + int64(d)
-	b := c.buckets[nanos]
+	b := c.buckets.get(nanos)
 	if b == nil {
 		b = c.takeBucketLocked(d == 0)
 		b.nanos = nanos
 		b.when = c.now.Add(d)
 		b.cur = 0
-		c.buckets[nanos] = b
+		c.buckets.put(nanos, b)
 		c.pushBucketLocked(b)
 	}
 	ev.b = b
@@ -159,7 +171,22 @@ func (c *Virtual) armLocked(ev *event, d time.Duration) {
 		// Outgrowing the inline array: jump straight to the steady-state
 		// size for fan-in buckets instead of letting append double through
 		// 8, 16, 32 — the grown backing stays with the record forever.
-		evs := make([]*event, len(b.evs), 64)
+		// Recycled grown records usually hold a warm backing already, so
+		// steal one (demoting the donor to the inline pool) before
+		// allocating: fan-in instants mostly land on inline-backed records
+		// popped from freeB, and without the steal every outgrow paid a
+		// fresh slice while freeBBig sat on idle capacity.
+		var evs []*event
+		if n := len(c.freeBBig); n > 0 {
+			donor := c.freeBBig[n-1]
+			c.freeBBig[n-1] = nil
+			c.freeBBig = c.freeBBig[:n-1]
+			evs = donor.evs[:len(b.evs)]
+			donor.evs = donor.inline[:0]
+			c.freeB = append(c.freeB, donor)
+		} else {
+			evs = make([]*event, len(b.evs), 64)
+		}
 		copy(evs, b.evs)
 		b.evs = evs
 	}
@@ -293,6 +320,7 @@ func (c *Virtual) takeLocked(limitNanos int64, limited bool) func() {
 		if b.nanos > c.nowNanos {
 			c.now = b.when
 			c.nowNanos = b.nanos
+			c.nowAtomic.Store(b.nanos)
 		}
 		ev := b.evs[b.cur]
 		b.evs[b.cur] = nil
@@ -333,6 +361,7 @@ func (c *Virtual) AdvanceTo(t time.Time) int {
 			if limit > c.nowNanos {
 				c.now = t
 				c.nowNanos = limit
+				c.nowAtomic.Store(limit)
 			}
 			c.mu.Unlock()
 			return n
@@ -402,7 +431,7 @@ func (c *Virtual) removeBucketLocked(b *bucket) {
 		c.downLocked(i)
 		c.upLocked(i)
 	}
-	delete(c.buckets, b.nanos)
+	c.buckets.del(b.nanos)
 	b.evs = b.evs[:0]
 	b.cur = 0
 	if cap(b.evs) > len(b.inline) {

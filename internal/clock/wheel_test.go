@@ -88,7 +88,7 @@ func TestWheelStopLastPendingReclaimsBucket(t *testing.T) {
 	c.AfterFunc(2*time.Second, func() {})
 	tm.Stop()
 	c.mu.Lock()
-	heapLen, mapLen := len(c.bq), len(c.buckets)
+	heapLen, mapLen := len(c.bq), c.buckets.n
 	c.mu.Unlock()
 	if heapLen != 1 || mapLen != 1 {
 		t.Fatalf("after cancelling a bucket's only event: heap=%d map=%d, want 1/1", heapLen, mapLen)

@@ -172,11 +172,13 @@ type Process struct {
 	codec codec
 
 	// bufFree recycles plain-multicast payload buffers (the wrap-on-send
-	// and copy-on-receive allocations). A buffer returns to the list when
-	// the retaining member garbage-collects it at stability — the point
-	// after which no retransmission or delivery can reference it. Guarded
-	// by p.mu.
-	bufFree [][]byte
+	// and copy-on-receive allocations), bucketed by power-of-two capacity
+	// class. A buffer returns to its class when the retaining member
+	// garbage-collects it at stability — the point after which no
+	// retransmission or delivery can reference it. Allocated on first
+	// multicast: lease-only processes (viewers) never pay for the class
+	// table. Guarded by p.mu.
+	bufFree *bufPool
 
 	// mScratch backs membersOrderedLocked; consumers finish with the slice
 	// before p.mu is released.
@@ -201,22 +203,53 @@ type Process struct {
 	tickScratch                        []*Member
 }
 
-// maxBufFree bounds the payload free list so a burst does not pin its
-// high-water mark of buffers forever.
+// maxBufFree bounds the payload free list (across all classes) so a burst
+// does not pin its high-water mark of buffers forever.
 const maxBufFree = 256
 
+// Capacity classes for the payload free list: powers of two from 64 B
+// (class 0) to 4 MiB. Small heartbeat-sized wraps and multi-kilobyte
+// state-sync payloads interleave on the same process, so a single stack
+// with a top-only capacity check misses constantly — a small buffer on top
+// hides every larger one beneath it. Bucketing by class makes reuse exact.
+const (
+	bufClassMin = 6  // 1<<6 = 64 B, the smallest pooled capacity
+	bufClasses  = 17 // up to 1<<(bufClassMin+bufClasses-1) = 4 MiB
+)
+
+// bufClassFor returns the class whose buffers all have capacity ≥ n, or
+// bufClasses if n exceeds the largest pooled size.
+func bufClassFor(n int) int {
+	c := 0
+	for n > 64<<c && c < bufClasses {
+		c++
+	}
+	return c
+}
+
+// bufPool is the per-process payload free list: one stack per capacity
+// class plus the shared entry count that maxBufFree bounds.
+type bufPool struct {
+	class [bufClasses][][]byte
+	n     int
+}
+
 // getBufLocked returns an empty buffer with at least n bytes of capacity,
-// reusing a recycled payload buffer when one is large enough. A too-small
-// buffer stays on the free list rather than being discarded, and fresh
-// allocations round up to a power of two: state-sync payloads grow steadily
-// as viewers join, and exact-size allocation would make every request miss
-// the list by a few bytes forever.
+// reusing a recycled payload buffer when one is large enough: the request's
+// own class first, then the next larger ones. Fresh allocations round up to
+// a power of two — state-sync payloads grow steadily as viewers join, and
+// exact-size allocation would make every request miss the pool by a few
+// bytes forever.
 func (p *Process) getBufLocked(n int) []byte {
-	if k := len(p.bufFree); k > 0 {
-		if b := p.bufFree[k-1]; cap(b) >= n {
-			p.bufFree[k-1] = nil
-			p.bufFree = p.bufFree[:k-1]
-			return b[:0]
+	if pool := p.bufFree; pool != nil {
+		for c := bufClassFor(n); c < bufClasses; c++ {
+			if k := len(pool.class[c]); k > 0 {
+				b := pool.class[c][k-1]
+				pool.class[c][k-1] = nil
+				pool.class[c] = pool.class[c][:k-1]
+				pool.n--
+				return b[:0]
+			}
 		}
 	}
 	c := 64
@@ -226,13 +259,27 @@ func (p *Process) getBufLocked(n int) []byte {
 	return make([]byte, 0, c)
 }
 
-// putBufLocked recycles a payload buffer. Callers must guarantee no alias
-// of b survives: the only caller is stability garbage collection of plain
-// payloads, whose handler callbacks fired strictly earlier.
+// putBufLocked recycles a payload buffer into its capacity class. Callers
+// must guarantee no alias of b survives: the only caller is stability
+// garbage collection of plain payloads, whose handler callbacks fired
+// strictly earlier. A buffer files under the largest class it fully covers,
+// so a get from that class always satisfies its request.
 func (p *Process) putBufLocked(b []byte) {
-	if cap(b) > 0 && len(p.bufFree) < maxBufFree {
-		p.bufFree = append(p.bufFree, b[:0])
+	if cap(b) < 64 {
+		return
 	}
+	if p.bufFree == nil {
+		p.bufFree = &bufPool{}
+	}
+	if p.bufFree.n >= maxBufFree {
+		return
+	}
+	c := 0
+	for c+1 < bufClasses && cap(b) >= 64<<(c+1) {
+		c++
+	}
+	p.bufFree.class[c] = append(p.bufFree.class[c], b[:0])
+	p.bufFree.n++
 }
 
 // procCounters are the protocol counters, resolved once at NewProcess so

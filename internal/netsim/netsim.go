@@ -110,10 +110,16 @@ type Network struct {
 	// bigBufSize go on freeDBig and are reissued to large payloads.
 	freeD    *delivery
 	freeDBig *delivery
-	slabD    []delivery // current slab new records are carved from
-	slabDN   int        // records already carved from slabD
-	sweepIn  int        // sends until the next stale-link sweep
-	stats    Stats
+	freeB    *broadcast // free list of batched fan-out events
+	// bcastH/bcastD are broadcast.run's handler/payload snapshot scratch,
+	// reused across batch events (events fire one at a time, and handlers
+	// never re-enter run); capacity stays warm at the largest batch size.
+	bcastH  []transport.Handler
+	bcastD  [][]byte
+	slabD   []delivery // current slab new records are carved from
+	slabDN  int        // records already carved from slabD
+	sweepIn int        // sends until the next stale-link sweep
+	stats   Stats
 
 	obs      *obs.Registry
 	ctrSent  *obs.Counter // netsim.sent
@@ -200,8 +206,18 @@ func (r *linkRow) bump(to int32, now, ser int64, ids int) int64 {
 // to the simulation; horizons still in the future are kept — they encode
 // real queueing that must survive even the sender's crash (the packets
 // already left the NIC).
-func (r *linkRow) reap(now int64) {
+//
+// A dense row's backing array is released only when release is set (the
+// endpoint closed): the periodic sweep keeps it, because a stale horizon in
+// the past is behaviorally identical to an absent entry while freeing the
+// array makes the next send re-promote the row and reallocate it — for a
+// server streaming to thousands of viewers that cycle used to dominate the
+// scale table's allocation profile.
+func (r *linkRow) reap(now int64, release bool) {
 	if r.dense != nil {
+		if !release {
+			return
+		}
 		for _, nf := range r.dense {
 			if nf > now {
 				return
@@ -480,7 +496,7 @@ func (n *Network) sendLocked(from, to int32, toAddr transport.Addr, payload []by
 		delay := n.transitTimeLocked(from, to, prof, len(payload))
 		clock.Schedule(n.clk, delay, d.fn)
 	}
-	n.maybeSweepLocked()
+	n.maybeSweepLocked(1)
 	return nil
 }
 
@@ -642,9 +658,12 @@ const sweepPeriod = 4096
 // entry behaves identically to an absent one, so dropping it is invisible to
 // the simulation, and long capacity sweeps across many node pairs no longer
 // accumulate dead link state forever. Reaping is order-independent and
-// consumes no randomness, so replays are unaffected. Caller holds n.mu.
-func (n *Network) maybeSweepLocked() {
-	n.sweepIn--
+// consumes no randomness, so replays are unaffected. sends is how many
+// packet transmissions the caller just performed (a batched fan-out credits
+// its whole width, keeping sweep cadence proportional to traffic). Caller
+// holds n.mu.
+func (n *Network) maybeSweepLocked(sends int) {
+	n.sweepIn -= sends
 	if n.sweepIn > 0 {
 		return
 	}
@@ -654,7 +673,7 @@ func (n *Network) maybeSweepLocked() {
 	}
 	now := n.clk.Now().UnixNano()
 	for i := range n.rows {
-		n.rows[i].reap(now)
+		n.rows[i].reap(now, false)
 	}
 	for i, nf := range n.egressNext {
 		if nf != 0 && nf <= now {
@@ -773,7 +792,7 @@ func (e *endpoint) Close() error {
 		e.handler = nil
 		n.live--
 		now := n.clk.Now().UnixNano()
-		n.rows[e.id].reap(now)
+		n.rows[e.id].reap(now, true)
 		if nf := n.egressNext[e.id]; nf != 0 && nf <= now {
 			n.egressNext[e.id] = 0
 		}

@@ -17,7 +17,10 @@
 // directory, which serialises access).
 package placement
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // DefaultVNodes is the virtual-node count per server. 64 keeps the
 // per-server load imbalance under ~20% at 50 servers while a full
@@ -35,6 +38,14 @@ type Ring struct {
 	vnodes int
 	points []point // sorted by hash
 	ids    []string
+
+	// orderCache memoizes Order's full-walk result per key. Every viewer
+	// of a movie computes the same preference order, so at simulation
+	// scale the walk (and its slice) amortizes to one per title instead
+	// of one per client. Guarded by orderMu so concurrent readers of an
+	// otherwise-immutable ring stay safe; Add/Remove drop the cache.
+	orderMu    sync.Mutex
+	orderCache map[string][]string
 }
 
 // New returns an empty ring with the given virtual-node count per
@@ -93,6 +104,7 @@ func (r *Ring) Add(id string) {
 			return
 		}
 	}
+	r.invalidateOrders()
 	r.ids = append(r.ids, id)
 	for v := 0; v < r.vnodes; v++ {
 		r.points = append(r.points, point{hash: fnv64a(id, vnodeName(v)), id: id})
@@ -118,6 +130,7 @@ func (r *Ring) Remove(id string) {
 	if !found {
 		return
 	}
+	r.invalidateOrders()
 	kept := r.points[:0]
 	for _, p := range r.points {
 		if p.id != id {
@@ -177,6 +190,30 @@ func (r *Ring) AppendOrder(dst []string, key string, n int) []string {
 		}
 	}
 	return dst
+}
+
+// Order returns the full ring-walk order for key — every server, primary
+// first — as a cached shared slice. Callers must treat the result as
+// read-only; copy before appending or mutating. Membership changes
+// (Add/Remove) invalidate the cache.
+func (r *Ring) Order(key string) []string {
+	r.orderMu.Lock()
+	defer r.orderMu.Unlock()
+	if ord, ok := r.orderCache[key]; ok {
+		return ord
+	}
+	ord := r.AppendOrder(make([]string, 0, len(r.ids)), key, 0)
+	if r.orderCache == nil {
+		r.orderCache = make(map[string][]string)
+	}
+	r.orderCache[key] = ord
+	return ord
+}
+
+func (r *Ring) invalidateOrders() {
+	r.orderMu.Lock()
+	r.orderCache = nil
+	r.orderMu.Unlock()
 }
 
 // search finds the first ring point at or after key's hash.

@@ -122,6 +122,21 @@ type Config struct {
 	// compatibility; with a fixed seed striped runs are themselves exactly
 	// reproducible.
 	StripedEgress bool
+	// BroadcastFanout collapses each striped pacing beat's frame sends into
+	// one batched network transmission: the stripe walk collects every
+	// session's (destination, packet) pair and flushes the list through the
+	// video channel's PreframedRefBatchSender in one call, so the network
+	// schedules one coalesced delivery event per stripe beat instead of one
+	// per viewer — encode once, deliver N. Requires StripedEgress and a
+	// batch-capable transport (the mux over netsim); without either it is
+	// inert and sessions send per frame as before.
+	//
+	// Off by default for the same replay-compatibility reason as
+	// StripedEgress: a beat's frames now arrive together at the last slot of
+	// the beat's serialization train (sub-millisecond late at frame scale),
+	// which perturbs recorded event schedules while leaving every aggregate
+	// metric byte-identical (TestTableScaleBroadcastEquivalent pins that).
+	BroadcastFanout bool
 	// Obs, when set, receives the server's server.* counters and trace
 	// events, and is forwarded to the embedded GCS process.
 	Obs *obs.Registry
@@ -251,6 +266,10 @@ type Server struct {
 	// send afterwards skips the address-string hash.
 	vidPreRef  transport.PreframedRefSender
 	vidResolve transport.RefResolver
+	// vidBatch is vid's batched fan-out path (non-nil over netsim): one call
+	// delivers a whole stripe beat's frames. Used only under
+	// Config.BroadcastFanout.
+	vidBatch transport.PreframedRefBatchSender
 	// atCapacityMsg is the admission-refusal error, formatted once instead
 	// of per refused Open — a refusal storm is exactly when the server is
 	// busiest.
@@ -303,6 +322,16 @@ type Server struct {
 	// one per (movie, send period) with at least one attached session.
 	// Guarded by mu; nil until the first attach.
 	stripes map[stripeKey]*stripe
+
+	// The broadcast collector (Config.BroadcastFanout): while txCollect is
+	// set — only for the duration of one stripe walk — paceTickLocked
+	// appends each frame send here instead of transmitting, and the stripe
+	// flushes the whole batch in one network call after the walk. The
+	// slices keep their capacity across beats, so a warm beat collects and
+	// flushes without allocating. Guarded by mu.
+	txCollect bool
+	txDsts    []transport.AddrRef
+	txPkts    [][]byte
 }
 
 // classIdx maps a traffic class to its index in per-class arrays.
@@ -392,6 +421,9 @@ func New(cfg Config) (*Server, error) {
 	s.vidPre, _ = s.vid.(transport.PreframedSender)
 	s.vidPreRef, _ = s.vid.(transport.PreframedRefSender)
 	s.vidResolve, _ = s.vid.(transport.RefResolver)
+	if cfg.BroadcastFanout {
+		s.vidBatch, _ = s.vid.(transport.PreframedRefBatchSender)
+	}
 	if cfg.MaxSessions > 0 {
 		s.atCapacityMsg = fmt.Sprintf("server %s at capacity (%d sessions)", cfg.ID, cfg.MaxSessions)
 	}

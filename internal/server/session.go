@@ -428,7 +428,13 @@ func (sess *session) paceTickLocked(striped bool) txOutcome {
 		if !striped {
 			sess.schedulePacingLocked()
 		}
-		if s.vidPreRef != nil && sess.dstRef != transport.NoAddrRef {
+		if s.txCollect && sess.dstRef != transport.NoAddrRef {
+			// Broadcast fan-out: the stripe walk batches this beat's frames
+			// and flushes them in one network call after the walk — same
+			// clock instant, same attach order, one delivery event.
+			s.txDsts = append(s.txDsts, sess.dstRef)
+			s.txPkts = append(s.txPkts, pkt)
+		} else if s.vidPreRef != nil && sess.dstRef != transport.NoAddrRef {
 			_ = s.vidPreRef.SendPreframedRef(sess.dstRef, pkt)
 		} else {
 			_ = s.vidPre.SendPreframed(dst, pkt)

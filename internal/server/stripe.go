@@ -100,6 +100,12 @@ func (s *Server) attachStripeLocked(sess *session) {
 func (st *stripe) tick() {
 	s := st.srv
 	s.mu.Lock()
+	// Broadcast fan-out: collect the walk's frame sends into the server's
+	// batch scratch instead of transmitting one by one, then flush them
+	// below in a single batched network call — still inside this same clock
+	// event and lock hold, so RNG draws and egress arithmetic happen in the
+	// exact order the per-send path produced them.
+	s.txCollect = s.vidBatch != nil
 	entries := st.entries
 	k := 0
 	for i := range entries {
@@ -132,6 +138,14 @@ func (st *stripe) tick() {
 		entries[i] = stripeEntry{}
 	}
 	st.entries = entries[:k]
+	if s.txCollect {
+		s.txCollect = false
+		if len(s.txDsts) > 0 {
+			_ = s.vidBatch.SendPreframedRefBatch(s.txDsts, s.txPkts)
+			s.txDsts = s.txDsts[:0]
+			s.txPkts = s.txPkts[:0]
+		}
+	}
 	if k == 0 && !s.closed {
 		st.task.Stop()
 		delete(s.stripes, st.key)

@@ -29,16 +29,17 @@ import (
 // The table is reachable via -table scale but deliberately absent from
 // TableIDs: -table all and -list keep their exact pre-§12 output.
 //
-// The production table runs with striped egress on: the aggregate row
-// metrics are identical either way (TestTableScaleStripedEquivalent pins
-// that), and coalesced pacing is most of what makes the 10k-viewer row
-// cheap enough to regenerate casually.
+// The production table runs with striped egress and broadcast fan-out on:
+// the aggregate row metrics are identical either way
+// (TestTableScaleStripedEquivalent and TestTableScaleBroadcastEquivalent
+// pin that), and coalesced pacing plus batched delivery are most of what
+// makes the 10k-viewer row cheap enough to regenerate casually.
 func TableScale(seed int64) Table {
 	return tableScale(seed, []scalePoint{
 		{servers: 10, viewers: 1_000},
 		{servers: 25, viewers: 4_000},
 		{servers: 50, viewers: 10_000},
-	}, true)
+	}, true, true)
 }
 
 type scalePoint struct {
@@ -47,7 +48,7 @@ type scalePoint struct {
 }
 
 // tableScale is the parameterized core, shared with the reduced-size tests.
-func tableScale(seed int64, points []scalePoint, striped bool) Table {
+func tableScale(seed int64, points []scalePoint, striped, broadcast bool) Table {
 	t := Table{
 		ID:    "Tbl 2T",
 		Title: "two-tier capacity: sharded movie groups + leased viewers (§12)",
@@ -57,7 +58,7 @@ func tableScale(seed int64, points []scalePoint, striped bool) Table {
 		},
 	}
 	trials := fanOut(len(points), func(i int) scaleResult {
-		return scaleTrial(seed, points[i].servers, points[i].viewers, striped)
+		return scaleTrial(seed, points[i].servers, points[i].viewers, striped, broadcast, nil)
 	})
 	for i, p := range points {
 		res := trials[i]
@@ -122,7 +123,7 @@ func scaleMovie(title string, seed int64) *mpeg.Movie {
 // holds, so group size stays at Replicas while the cluster grows. Viewers
 // attach by lease (no session groups at all) with the ring ordering their
 // anycast, arrivals spread over the first two seconds.
-func scaleTrial(seed int64, nServers, nViewers int, striped bool) scaleResult {
+func scaleTrial(seed int64, nServers, nViewers int, striped, broadcast bool, disrupt func(net *netsim.Network, clk *clock.Virtual, servers []string)) scaleResult {
 	const replicas = 2
 	clk := clock.NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
 	net := netsim.New(clk, seed, netsim.LAN())
@@ -174,6 +175,9 @@ func scaleTrial(seed int64, nServers, nViewers int, striped bool) scaleResult {
 			// Likewise one coalesced pacing tick per (movie, rate) instead
 			// of one timer per viewer session.
 			StripedEgress: striped,
+			// And one batched delivery event per stripe beat instead of one
+			// per viewer.
+			BroadcastFanout: broadcast,
 		})
 		if err != nil {
 			panic(err)
@@ -211,6 +215,13 @@ func scaleTrial(seed int64, nServers, nViewers int, striped bool) scaleResult {
 		}
 		vs.clients = append(vs.clients, c)
 		clk.Advance(arrivalGap)
+	}
+	if disrupt != nil {
+		// Test hook: inject faults (partitions, loss bursts) mid-stream —
+		// the broadcast-equivalence spot check drives its divergence
+		// fallback through here. The callback may advance the clock; the
+		// play-out below still runs in full afterwards.
+		disrupt(net, clk, serverIDs)
 	}
 	clk.Advance(scaleMovieLen + 2*time.Second) // play out + drain
 

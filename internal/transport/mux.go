@@ -68,6 +68,7 @@ func (m *Mux) Channel(id ChannelID) Endpoint {
 		ch.stable, _ = m.ep.(StableSender)
 		ch.refs, _ = m.ep.(RefSender)
 		ch.resolver, _ = m.ep.(RefResolver)
+		ch.batch, _ = m.ep.(RefBatchSender)
 		m.channels[id] = ch
 		if int(id) < muxDenseChans {
 			m.chans[id].Store(ch)
@@ -111,6 +112,7 @@ type muxChannel struct {
 	stable   StableSender
 	refs     RefSender
 	resolver RefResolver
+	batch    RefBatchSender
 
 	// handler is an atomic pointer rather than a mutex-guarded field:
 	// dispatch reads it per delivered datagram, installs are rare.
@@ -184,6 +186,31 @@ func (c *muxChannel) SendPreframedRef(to AddrRef, payload []byte) error {
 		return fmt.Errorf("channel %d to ref#%d: no reference send path", c.id, to)
 	}
 	return c.refs.SendStableRef(to, payload)
+}
+
+// SendPreframedRefBatch implements PreframedRefBatchSender: one batched
+// fan-out through the underlying endpoint's RefBatchSender path. Every
+// payload carries the same prefix and immutability obligations as
+// SendPreframedRef; every destination must come from this channel's
+// ResolveAddr. Callers should check the channel implements the interface
+// (it does only when the underlying endpoint batches) and fall back to
+// per-destination sends otherwise.
+func (c *muxChannel) SendPreframedRefBatch(dsts []AddrRef, payloads [][]byte) error {
+	if len(dsts) != len(payloads) {
+		return fmt.Errorf("channel %d: batch with %d destinations but %d payloads", c.id, len(dsts), len(payloads))
+	}
+	if c.batch == nil {
+		return fmt.Errorf("channel %d: no batched reference send path", c.id)
+	}
+	for i, p := range payloads {
+		if len(p) == 0 || p[0] != byte(c.id) {
+			return fmt.Errorf("channel %d to ref#%d: preframed payload does not carry this channel's prefix", c.id, dsts[i])
+		}
+		if len(p) > MaxDatagram {
+			return fmt.Errorf("channel %d to ref#%d: %w", c.id, dsts[i], ErrTooLarge)
+		}
+	}
+	return c.batch.SendStableRefBatch(dsts, payloads)
 }
 
 func (c *muxChannel) SetHandler(h Handler) {

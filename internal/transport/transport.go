@@ -109,6 +109,32 @@ type PreframedRefSender interface {
 	SendPreframedRef(to AddrRef, payload []byte) error
 }
 
+// RefBatchSender is an optional Endpoint extension for fan-out: one call
+// transmits payloads[i] to dsts[i] for every i (the slices must be the same
+// length). Every payload carries the StableSender immutability obligation,
+// and entries may alias one another — a broadcast hands the same backing
+// array to every destination. The contract is equivalence with a loop:
+// loss, duplication and per-destination link timing behave as if
+// SendStableRef had been called once per destination in slice order,
+// consuming the same random draws in the same order, so a run that batches
+// its fan-out keeps aggregate statistics identical to one that loops.
+// Implementations are free to coalesce the surviving deliveries into one
+// scheduled event (netsim does); only per-delivery timing, never content or
+// ordering among the batch, may differ from the loop.
+type RefBatchSender interface {
+	SendStableRefBatch(dsts []AddrRef, payloads [][]byte) error
+}
+
+// PreframedRefBatchSender is the batched form of PreframedRefSender: every
+// payload must already begin with the channel's Preframe byte and be
+// immutable for the process lifetime, and every destination must come from
+// this channel's ResolveAddr. One striped pacing beat of a scale run goes
+// through here as a single call — one network transmission event for the
+// whole stripe instead of one per viewer.
+type PreframedRefBatchSender interface {
+	SendPreframedRefBatch(dsts []AddrRef, payloads [][]byte) error
+}
+
 // Network creates endpoints. The simulated implementation wires them to a
 // shared topology; tests use it to build whole clusters in-process.
 type Network interface {
